@@ -1,0 +1,98 @@
+"""Meta-benchmarks: the simulator's own performance.
+
+Unlike the figure benches (which time one wrapped run for bookkeeping),
+these use pytest-benchmark for what it is built for — statistically
+meaningful wall-clock timing of the hot paths: the event loop, the
+max-min fast path, and a full end-to-end migration.
+"""
+
+import numpy as np
+
+from repro.netsim.fairness import maxmin_single_switch
+from repro.simkernel import Environment
+from repro.simkernel.fluid import FluidShare
+
+
+def test_event_loop_throughput(benchmark):
+    """Ping-pong timeout chains: pure kernel overhead per event."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(5000):
+                yield env.timeout(1.0)
+
+        for _ in range(4):
+            env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 5000.0
+
+
+def test_fluid_share_churn(benchmark):
+    """Arrivals/departures on one fluid resource (disk model hot path)."""
+
+    def run():
+        env = Environment()
+        share = FluidShare(env, capacity=1e6)
+
+        def spawner():
+            for i in range(500):
+                share.transfer(1e4 + (i % 7) * 1e3)
+                yield env.timeout(0.003)
+
+        env.process(spawner())
+        env.run()
+        return share.total_bytes
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_maxmin_fast_path(benchmark):
+    """One rate recomputation at fig4 scale (60 hosts, 90 flows)."""
+    rng = np.random.default_rng(1)
+    n_hosts, n_flows = 60, 90
+    srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
+    dsts = (srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
+    weights = rng.uniform(0.5, 4.0, n_flows)
+    nic = np.full(n_hosts, 117.5e6)
+
+    rates = benchmark(
+        maxmin_single_switch, weights, srcs, dsts, nic, nic, 2.5e9
+    )
+    assert (rates > 0).all()
+
+
+def test_end_to_end_migration_wall_time(benchmark):
+    """A complete hybrid migration under write pressure — the unit of work
+    every figure multiplies."""
+    from repro.cluster import CloudMiddleware, Cluster
+    from repro.experiments.config import graphene_spec
+    from repro.workloads.synthetic import SequentialWriter
+
+    MB = 2**20
+
+    def run():
+        env = Environment()
+        cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
+        vm = cloud.deploy("vm0", cloud.cluster.node(0), working_set=256 * MB)
+        SequentialWriter(
+            vm, total_bytes=512 * MB, rate=60e6, op_size=4 * MB,
+            region_offset=1024 * MB, region_size=512 * MB,
+        ).start()
+        done = {}
+
+        def migrator():
+            yield env.timeout(2.0)
+            done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+        env.process(migrator())
+        env.run()
+        return done["rec"].migration_time
+
+    mig_time = benchmark(run)
+    assert mig_time > 0

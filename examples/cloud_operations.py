@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A day in the datacenter: the management tasks live migration enables.
+
+The paper's introduction motivates live migration with load balancing,
+online maintenance, power management and pro-active fault tolerance; its
+related work adds snapshot-based checkpoint-restart (BlobCR).  This script
+strings all of them together on one simulated cluster running the paper's
+hybrid storage transfer underneath:
+
+1. a burst of deployments lands unevenly -> **balance**,
+2. a node needs servicing -> **evacuate** (online maintenance),
+3. the evening lull arrives -> **consolidate** and power nodes down,
+4. a VM is **checkpointed** to the repository and a clone is deployed
+   from the snapshot on another node (BlobCR / multideployment).
+
+Run:  python examples/cloud_operations.py
+"""
+
+from repro import CloudMiddleware, Cluster, Environment
+from repro.cluster import DatacenterScheduler
+from repro.core import SnapshotService
+from repro.experiments.config import graphene_spec
+from repro.workloads import SequentialWriter
+
+MB = 2**20
+
+
+def show(label, sched):
+    occ = sched.occupancy()
+    packed = " ".join(f"{k}:{v}" for k, v in sorted(occ.items()))
+    print(f"  {label:34s} {packed}")
+
+
+def main() -> None:
+    env = Environment()
+    cloud = CloudMiddleware(Cluster(env, graphene_spec(6)))
+    sched = DatacenterScheduler(cloud, capacity=4)
+    service = SnapshotService(cloud.cluster.repository)
+
+    # An uneven burst of deployments: everything lands on node0/node1.
+    vms = []
+    for i in range(6):
+        vm = cloud.deploy(f"vm{i}", cloud.cluster.node(i % 2),
+                          working_set=256 * MB)
+        SequentialWriter(
+            vm, total_bytes=256 * MB, rate=20e6, op_size=4 * MB,
+            region_offset=1024 * MB, region_size=512 * MB, seed=i,
+        ).start()
+        vms.append(vm)
+
+    def operations():
+        yield env.timeout(5.0)
+        print("t=%.0fs  initial placement" % env.now)
+        show("", sched)
+
+        records = yield sched.balance()
+        print(f"t={env.now:.0f}s  balanced ({len(records)} migrations, "
+              f"avg {sum(r.migration_time for r in records) / len(records):.1f}s each)")
+        show("", sched)
+
+        records = yield sched.evacuate(cloud.cluster.node(1))
+        print(f"t={env.now:.0f}s  node1 evacuated for maintenance "
+              f"({len(records)} migrations)")
+        show("", sched)
+
+        yield env.timeout(20.0)  # workloads wind down
+        records, freed = yield sched.consolidate()
+        print(f"t={env.now:.0f}s  consolidated for the night "
+              f"({len(records)} migrations); power down: {', '.join(freed)}")
+        show("", sched)
+
+        snap = yield cloud.checkpoint(vms[0], service)
+        clone, restore = cloud.deploy_from_snapshot(
+            "clone-of-vm0", cloud.cluster.node(5), snap, service
+        )
+        yield restore
+        print(f"t={env.now:.0f}s  {snap.snapshot_id}: checkpointed "
+              f"{snap.nbytes / MB:.0f} MB of vm0, clone deployed on node5")
+        show("", sched)
+
+    env.process(operations())
+    env.run()
+
+    meter = cloud.cluster.fabric.meter
+    print("\ntraffic by tag:")
+    for tag, nbytes in sorted(meter.by_tag().items()):
+        print(f"  {tag:14s} {nbytes / MB:9.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

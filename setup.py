@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build; ``python setup.py
+develop`` installs the same editable package without needing wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of Nicolae & Cappello, "A Hybrid Local Storage
+Transfer Scheme for Live Migration of I/O Intensive Workloads" (HPDC'12).
+
+The package is a complete, simulation-backed implementation of the paper's
+system: a hybrid active-push / prioritized-prefetch live storage migration
+scheme, the four baselines it is compared against, and every substrate the
+evaluation depends on (flow-level datacenter fabric, local disks, BlobSeer
+and PVFS repositories, QEMU-style memory pre-copy, and the IOR / AsyncWR /
+CM1 workloads).
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.cluster import CloudMiddleware, Cluster, ClusterSpec, ComputeNode
+from repro.core import APPROACHES, MigrationConfig
+from repro.hypervisor import (
+    AdaptivePrecopyMemory,
+    LiveMigration,
+    PostcopyMemory,
+    PrecopyMemory,
+    VMInstance,
+)
+from repro.metrics import MetricsCollector, MigrationRecord
+from repro.simkernel import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROACHES",
+    "AdaptivePrecopyMemory",
+    "CloudMiddleware",
+    "Cluster",
+    "ClusterSpec",
+    "ComputeNode",
+    "Environment",
+    "LiveMigration",
+    "MetricsCollector",
+    "MigrationConfig",
+    "MigrationRecord",
+    "PostcopyMemory",
+    "PrecopyMemory",
+    "VMInstance",
+    "__version__",
+]

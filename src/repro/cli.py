@@ -1,0 +1,156 @@
+"""Command-line front end.
+
+Exposes the evaluation harness and one-off migration runs without writing
+Python::
+
+    python -m repro.cli table1
+    python -m repro.cli fig1
+    python -m repro.cli fig2 [--approach postcopy]
+    python -m repro.cli fig3 [--quick]
+    python -m repro.cli fig4 [--quick]
+    python -m repro.cli fig5 [--quick] [--grid 8x8]
+    python -m repro.cli single --approach our-approach --workload ior
+    python -m repro.cli compare --workload asyncwr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.registry import APPROACHES
+from repro.experiments.config import IOR_MAX_READ, IOR_MAX_WRITE
+from repro.experiments.runner import render_table
+from repro.experiments.scenarios import run_single_migration
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_grid(text: str) -> tuple[int, int]:
+    try:
+        a, b = text.lower().split("x")
+        return int(a), int(b)
+    except Exception as exc:  # noqa: BLE001 - argparse boundary
+        raise argparse.ArgumentTypeError(
+            f"grid must look like '4x4', got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Hybrid Local Storage Transfer Scheme for "
+            "Live Migration of I/O Intensive Workloads' (HPDC'12)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (approach summary)")
+
+    fig1 = sub.add_parser("fig1", help="render the architecture inventory")
+    fig1.add_argument("--nodes", type=int, default=8)
+
+    fig2 = sub.add_parser("fig2", help="run + render one migration's phase timeline")
+    fig2.add_argument("--approach", choices=sorted(APPROACHES),
+                      default="our-approach")
+
+    for fig in ("fig3", "fig4", "fig5"):
+        p = sub.add_parser(fig, help=f"regenerate {fig} of the paper")
+        p.add_argument("--quick", action="store_true",
+                       help="reduced geometry for a fast run")
+        if fig == "fig5":
+            p.add_argument("--grid", type=_parse_grid, default=(4, 4),
+                           help="CM1 rank grid, e.g. 8x8 (default 4x4)")
+
+    single = sub.add_parser("single", help="one migration under one workload")
+    single.add_argument("--approach", choices=sorted(APPROACHES),
+                        default="our-approach")
+    single.add_argument("--workload", choices=["ior", "asyncwr"], default="ior")
+    single.add_argument("--warmup", type=float, default=10.0,
+                        help="seconds before the migration request")
+    single.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare", help="run all five approaches on one workload"
+    )
+    compare.add_argument("--workload", choices=["ior", "asyncwr"], default="ior")
+    compare.add_argument("--warmup", type=float, default=10.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _outcome_row(outcome) -> list[float]:
+    return [
+        outcome.migration_time,
+        outcome.total_traffic() / 2**20,
+        100 * outcome.read_throughput / IOR_MAX_READ,
+        100 * outcome.write_throughput / IOR_MAX_WRITE,
+    ]
+
+
+def _cmd_single(args) -> str:
+    outcome = run_single_migration(
+        args.approach, workload=args.workload, warmup=args.warmup, seed=args.seed
+    )
+    return render_table(
+        f"Single migration: {args.approach} under {args.workload}",
+        ["mig time (s)", "traffic (MB)", "read (%max)", "write (%max)"],
+        {args.approach: _outcome_row(outcome)},
+    )
+
+
+def _cmd_compare(args) -> str:
+    rows = {}
+    for approach in APPROACHES:
+        outcome = run_single_migration(
+            approach, workload=args.workload, warmup=args.warmup, seed=args.seed
+        )
+        rows[approach] = _outcome_row(outcome)
+    return render_table(
+        f"All approaches under {args.workload} (migration at t={args.warmup:g}s)",
+        ["mig time (s)", "traffic (MB)", "read (%max)", "write (%max)"],
+        rows,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        from repro.experiments.table1 import render_table1
+
+        print(render_table1())
+    elif args.command == "fig1":
+        from repro.cluster import Cluster
+        from repro.experiments.config import graphene_spec
+        from repro.experiments.fig1 import render_fig1
+        from repro.simkernel import Environment
+
+        print(render_fig1(Cluster(Environment(), graphene_spec(args.nodes))))
+    elif args.command == "fig2":
+        from repro.experiments.fig2 import render_fig2
+
+        print(render_fig2(args.approach))
+    elif args.command == "fig3":
+        from repro.experiments.fig3 import render_fig3, run_fig3
+
+        print(render_fig3(run_fig3(quick=args.quick)))
+    elif args.command == "fig4":
+        from repro.experiments.fig4 import render_fig4, run_fig4
+
+        print(render_fig4(run_fig4(quick=args.quick)))
+    elif args.command == "fig5":
+        from repro.experiments.fig5 import render_fig5, run_fig5
+
+        print(render_fig5(run_fig5(quick=args.quick, grid=args.grid)))
+    elif args.command == "single":
+        print(_cmd_single(args))
+    elif args.command == "compare":
+        print(_cmd_compare(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

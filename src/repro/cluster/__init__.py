@@ -1,0 +1,15 @@
+"""The IaaS cloud: compute nodes, cluster wiring, middleware, advisor."""
+
+from repro.cluster.advisor import MigrationAdvisor
+from repro.cluster.cloud import CloudMiddleware, Cluster, ClusterSpec
+from repro.cluster.node import ComputeNode
+from repro.cluster.scheduler import DatacenterScheduler
+
+__all__ = [
+    "CloudMiddleware",
+    "Cluster",
+    "ClusterSpec",
+    "ComputeNode",
+    "DatacenterScheduler",
+    "MigrationAdvisor",
+]

@@ -1,0 +1,100 @@
+"""I/O-pattern-aware migration scheduling (paper future work).
+
+From the paper's conclusion: "we plan to monitor I/O patterns with the
+purpose of predicting the best moment to initiate a live migration.  Such
+information could be leveraged by the cloud middleware to better
+orchestrate live migrations within the datacenter."
+
+:class:`MigrationAdvisor` is that middleware piece: it samples a VM's
+recent write pressure and fires the migration when the pressure drops
+below a threshold derived from the observed history — i.e. it waits for a
+lull between I/O bursts (for CM1-like applications: between output dumps).
+A deadline bounds the wait so a VM that never goes quiet still migrates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.metrics.timeline import Timeline
+from repro.simkernel.core import Environment, Process
+
+__all__ = ["MigrationAdvisor"]
+
+
+class MigrationAdvisor:
+    """Waits for an I/O lull, then triggers the migration.
+
+    Parameters
+    ----------
+    cloud:
+        The :class:`~repro.cluster.cloud.CloudMiddleware` to migrate with.
+    quiet_fraction:
+        The write pressure (relative to the observed peak) below which the
+        VM counts as quiet.
+    min_observation:
+        Seconds of monitoring before a decision may fire (the predictor
+        needs history to know what "quiet" means for this VM).
+    deadline:
+        Seconds after ``start`` at which the migration fires regardless.
+    sample_interval:
+        Monitoring granularity.
+    """
+
+    def __init__(
+        self,
+        cloud,
+        quiet_fraction: float = 0.25,
+        min_observation: float = 10.0,
+        deadline: float = 120.0,
+        sample_interval: float = 1.0,
+    ):
+        if not 0 < quiet_fraction <= 1:
+            raise ValueError("quiet_fraction must lie in (0, 1]")
+        if deadline <= min_observation:
+            raise ValueError("deadline must exceed min_observation")
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.cloud = cloud
+        self.env: Environment = cloud.env
+        self.quiet_fraction = float(quiet_fraction)
+        self.min_observation = float(min_observation)
+        self.deadline = float(deadline)
+        self.sample_interval = float(sample_interval)
+        #: Sampled write pressure, for inspection/plots.
+        self.samples = Timeline("advisor:write-pressure")
+        #: Why the migration fired: "quiet" or "deadline".
+        self.fired_reason: Optional[str] = None
+
+    def migrate_when_quiet(self, vm, dst_node, memory=None) -> Process:
+        """Start monitoring ``vm``; returns a process yielding the
+        MigrationRecord of the eventually-triggered migration."""
+        return self.env.process(
+            self._run(vm, dst_node, memory), name=f"advisor:{vm.name}"
+        )
+
+    def _run(self, vm, dst_node, memory) -> Generator:
+        start = self.env.now
+        peak = 0.0
+        cumulative = 0.0
+        while True:
+            yield self.env.timeout(self.sample_interval)
+            rate = vm.recent_write_rate()
+            cumulative += rate
+            self.samples.record(self.env.now, cumulative)
+            peak = max(peak, rate)
+            elapsed = self.env.now - start
+            if elapsed >= self.deadline:
+                self.fired_reason = "deadline"
+                break
+            if elapsed < self.min_observation:
+                continue
+            if peak > 0 and rate <= self.quiet_fraction * peak:
+                self.fired_reason = "quiet"
+                break
+            if peak == 0:
+                # Never saw any I/O: nothing to wait for.
+                self.fired_reason = "quiet"
+                break
+        record = yield self.cloud.migrate(vm, dst_node, memory=memory)
+        return record

@@ -1,0 +1,20 @@
+"""A compute node: network attachment + local disk."""
+
+from __future__ import annotations
+
+from repro.netsim.topology import Host
+from repro.storage.disk import LocalDisk
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """One physical machine of the datacenter."""
+
+    def __init__(self, name: str, host: Host, disk: LocalDisk):
+        self.name = name
+        self.host = host
+        self.disk = disk
+
+    def __repr__(self) -> str:
+        return f"<ComputeNode {self.name}>"

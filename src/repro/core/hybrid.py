@@ -1,0 +1,390 @@
+"""``our-approach``: hybrid active push / prioritized prefetch (Section 4).
+
+Source side (Algorithms 1-2):
+
+* On MIGRATION_REQUEST, ``RemainingSet <- ModifiedSet``, all write counts
+  reset, and BACKGROUND_PUSH starts shipping chunks whose
+  ``WriteCount < Threshold`` to the destination.
+* A write re-queues the chunk and bumps its write count; once the count
+  reaches ``Threshold`` the chunk is *hot* and is skipped by the push (it
+  will be prefetched later) — each chunk therefore crosses the wire at most
+  ``Threshold`` times before control transfer.
+
+Transfer of control (Algorithm 3):
+
+* ``on_sync`` (the hypervisor's ``sync`` right before downtime) stops the
+  push and sends TRANSFER_IO_CONTROL with the remaining chunk list and
+  write counts; the source turns passive.
+
+Destination side (Algorithms 3-4):
+
+* BACKGROUND_PULL prefetches the remaining chunks in decreasing write-count
+  order (hot chunks are the likeliest to be read soon).
+* A guest read of a not-yet-pulled chunk suspends the background pull and
+  fetches the chunk with priority; a guest write cancels the chunk's pull
+  outright (its content is dead).
+* When the remaining set drains, the source is released — that moment ends
+  the migration-time clock.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.core.manager import MigrationManager
+from repro.simkernel.core import Event
+from repro.simkernel.events import Interrupt
+
+__all__ = ["HybridManager"]
+
+
+class HybridManager(MigrationManager):
+    """The paper's hybrid push/prefetch migration manager."""
+
+    name = "our-approach"
+    strategy_summary = "Active push below Threshold, then prioritized prefetch"
+    #: Class-level knob so PostcopyManager can disable the push phase while
+    #: sharing every other code path (exactly how the paper builds its
+    #: postcopy baseline from this implementation).
+    push_enabled = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        n = self.chunks.n_chunks
+        # Source-side state.
+        self.remaining = np.zeros(n, dtype=bool)
+        self._push_proc = None
+        self._push_stop = False
+        self._push_wakeup: Event | None = None
+        # Destination-side state.
+        self.pull_pending = np.zeros(n, dtype=bool)
+        self._pull_order_wc: np.ndarray | None = None
+        self._pull_inflight: dict[int, Event] = {}
+        self._pull_cancelled = np.zeros(n, dtype=bool)
+        self._ondemand_depth = 0
+        self._pull_resume: Event | None = None
+        self._pull_proc = None
+        #: Push/pull engine statistics (exposed for tests and ablations).
+        self.stats = {
+            "pushed_chunks": 0,
+            "pulled_chunks": 0,
+            "ondemand_chunks": 0,
+            "skipped_hot_chunks": 0,
+            "cancelled_pulls": 0,
+            "wire_bytes_saved": 0.0,
+        }
+        # Wire codec (dedup/compression, off by default).
+        self._codec = self.config.codec()
+        self._known_fps: set[int] = set()
+        self._compressor = None
+        if self._codec.enabled and self._codec.compression_bw != float("inf"):
+            from repro.simkernel.fluid import FluidShare
+
+            self._compressor = FluidShare(
+                self.env, self._codec.compression_bw,
+                name=f"compressor:{self.vm.name}",
+            )
+
+    # ---------------------------------------------------------------- codec
+    def _fps(self, chunk_ids: np.ndarray, versions: np.ndarray) -> np.ndarray:
+        from repro.core.codec import content_fingerprints
+
+        return content_fingerprints(
+            chunk_ids, versions, self.vm.content_pool, seed=self.config.seed
+        )
+
+    def _note_content(self, chunk_ids: np.ndarray, versions: np.ndarray) -> None:
+        if self._codec.dedup:
+            self._known_fps.update(
+                int(x) for x in self._fps(chunk_ids, versions)
+            )
+
+    def receive_chunks(self, chunk_ids: np.ndarray, versions: np.ndarray) -> None:
+        super().receive_chunks(chunk_ids, versions)
+        self._note_content(chunk_ids, versions)
+
+    def _wire_events(
+        self, sender: "HybridManager", batch: np.ndarray,
+        versions: np.ndarray, nbytes: float,
+    ) -> tuple[float, list]:
+        """Wire bytes + extra pipeline stages the codec imposes.
+
+        The receiver is always ``self`` when pulling and ``self.peer``
+        when pushing — callers pass the *sender*; the receiver is the
+        other side.
+        """
+        receiver = self.peer if sender is self else self
+        if not self._codec.enabled:
+            return nbytes, []
+        fps = sender._fps(batch, versions)
+        wire, compress_in, _ = self._codec.wire_cost(
+            fps, self.chunk_size, receiver._known_fps
+        )
+        sender.stats["wire_bytes_saved"] += max(nbytes - wire, 0.0)
+        extra = []
+        if sender._compressor is not None and compress_in > 0:
+            extra.append(sender._compressor.transfer(compress_in))
+        return wire, extra
+
+    # ------------------------------------------------------------------ source
+    def on_migration_request(self, dst_node) -> Generator:
+        """Algorithm 1: become the source, start BACKGROUND_PUSH."""
+        peer = self.spawn_peer(dst_node)
+        self.is_source = True
+        peer.is_destination = True
+        self.chunks.reset_write_counts()
+        self._count_writes = True
+        self.remaining = self.chunks.modified.copy()
+        # MIGRATION_NOTIFICATION to the destination.
+        yield self.fabric.message(self.host, peer.host, tag="control")
+        if self.push_enabled:
+            self._push_stop = False
+            self._push_proc = self.env.process(
+                self._background_push(), name=f"push:{self.vm.name}"
+            )
+
+    def _push_eligible(self) -> np.ndarray:
+        return np.flatnonzero(
+            self.remaining & (self.chunks.write_count < self.config.threshold)
+        )
+
+    def _background_push(self) -> Generator:
+        """Algorithm 1's BACKGROUND_PUSH, batched."""
+        cfg = self.config
+        while True:
+            if self._push_stop:
+                return
+            eligible = self._push_eligible()
+            if eligible.size == 0:
+                self._push_wakeup = self.env.event()
+                try:
+                    yield self._push_wakeup
+                except Interrupt:
+                    return
+                continue
+            batch = eligible[: cfg.push_batch]
+            # Removed from RemainingSet at send time; a concurrent write
+            # re-queues the chunk (Algorithm 2 line 10).
+            self.remaining[batch] = False
+            versions = self.chunks.version[batch].copy()
+            peer = self.peer
+            nbytes = float(batch.size * self.chunk_size)
+            # The moved bytes traverse: source disk (warm chunks come from
+            # the host cache), the source manager's read path (contending
+            # with guest reads), the fabric, the destination manager's
+            # write path (contending with guest writes there).  The stages
+            # pipeline, so batch completion is governed by the slowest;
+            # arriving data is cache-absorbed and written back lazily.
+            wire, extra = self._wire_events(self, batch, versions, nbytes)
+            yield self.env.all_of(
+                [
+                    self.vdisk.load(batch),
+                    self.pagecache.read(nbytes),
+                    self.fabric.transfer(
+                        self.host, peer.host, wire, tag="storage-push"
+                    ),
+                    peer.pagecache.write(nbytes),
+                    *extra,
+                ]
+            )
+            if self.peer is not peer:
+                return  # migration cancelled mid-batch: drop the payload
+            peer.receive_chunks(batch, versions)
+            peer.vdisk.disk.touch(batch)
+            self.stats["pushed_chunks"] += int(batch.size)
+
+    def _notify_push(self) -> None:
+        if self._push_wakeup is not None and not self._push_wakeup.triggered:
+            self._push_wakeup.succeed()
+            self._push_wakeup = None
+
+    def _after_write(self, span: np.ndarray, nbytes: int) -> Generator:
+        """Algorithm 2, source part: re-queue written chunks and notify."""
+        self._note_content(span, self.chunks.version[span])
+        if self.is_source and self._count_writes:
+            self.remaining[span] = True
+            hot = self.chunks.write_count[span] >= self.config.threshold
+            self.stats["skipped_hot_chunks"] += int(hot.sum())
+            self._notify_push()
+        if self.is_destination:
+            self._cancel_pulls(span)
+        return
+        yield  # pragma: no cover
+
+    def backlog_bytes(self) -> float:
+        if self.is_source:
+            return float(self.remaining.sum()) * self.chunk_size
+        return 0.0
+
+    def on_sync(self) -> Generator:
+        """Stop the push engine.  Writes may still be draining, so the
+        remaining set is NOT snapshotted yet — ``_count_writes`` stays on
+        and late writes keep re-queueing themselves (Algorithm 2)."""
+        self._push_stop = True
+        self._notify_push()
+        if self._push_proc is not None and self._push_proc.is_alive:
+            yield self._push_proc
+
+    def on_downtime(self) -> Generator:
+        """VM paused and I/O drained: send TRANSFER_IO_CONTROL with the
+        now-final remaining chunk list and write counts (Algorithm 3)."""
+        self._count_writes = False
+        remaining_ids = np.flatnonzero(self.remaining)
+        # The chunk list + write counts travel as a control message
+        # (8 bytes of id + 8 of count per entry).
+        yield self.fabric.message(
+            self.host,
+            self.peer.host,
+            nbytes=16.0 * remaining_ids.size + 512,
+            tag="control",
+        )
+        self.peer._install_pull_set(
+            remaining_ids, self.chunks.write_count[remaining_ids].copy()
+        )
+
+    def on_control_transferred(self) -> Generator:
+        """Source is passive; destination starts BACKGROUND_PULL."""
+        peer = self.peer
+        assert peer is not None
+        peer._start_pull()
+        # The source is relinquished when the destination drained the set.
+        return
+        yield  # pragma: no cover
+
+    def cancel_migration(self) -> None:
+        """Stop the push engine and forget the migration state."""
+        self._push_stop = True
+        self._notify_push()
+        if self._push_proc is not None and self._push_proc.is_alive:
+            # The engine exits at its next checkpoint; detach regardless.
+            self._push_proc = None
+        self.remaining[:] = False
+        super().cancel_migration()
+
+    # -------------------------------------------------------------- destination
+    def _install_pull_set(self, chunk_ids: np.ndarray, write_counts: np.ndarray) -> None:
+        """TRANSFER_IO_CONTROL receive side (Algorithm 3)."""
+        self.pull_pending[:] = False
+        self.pull_pending[chunk_ids] = True
+        wc = np.zeros(self.chunks.n_chunks, dtype=np.int64)
+        wc[chunk_ids] = write_counts
+        self._pull_order_wc = wc
+
+    def _start_pull(self) -> None:
+        self._pull_proc = self.env.process(
+            self._background_pull(), name=f"pull:{self.vm.name}"
+        )
+
+    def _pull_priority_batch(self) -> np.ndarray:
+        """Next prefetch batch under the configured policy."""
+        pending = np.flatnonzero(self.pull_pending)
+        if pending.size == 0:
+            return pending
+        policy = self.config.prefetch_policy
+        if policy == "writecount":
+            # Decreasing write count; stable on chunk index for determinism.
+            order = np.argsort(-self._pull_order_wc[pending], kind="stable")
+            pending = pending[order]
+        elif policy == "random":
+            rng = np.random.default_rng(self.config.seed + len(self._pull_inflight))
+            pending = rng.permutation(pending)
+        # "fifo": natural chunk-index order.
+        return pending[: self.config.pull_batch]
+
+    def _background_pull(self) -> Generator:
+        """Algorithm 3's BACKGROUND_PULL with suspension for on-demand reads."""
+        while True:
+            if self._ondemand_depth > 0:
+                # Algorithm 4: suspended while a priority read is in flight.
+                self._pull_resume = self.env.event()
+                yield self._pull_resume
+                continue
+            batch = self._pull_priority_batch()
+            if batch.size == 0:
+                if self._pull_inflight:
+                    yield self.env.all_of(list(self._pull_inflight.values()))
+                    continue
+                break
+            yield from self._pull(batch, weight=1.0)
+            self.stats["pulled_chunks"] += int(batch.size)
+        yield from self._finish_migration()
+
+    def _pull(self, batch: np.ndarray, weight: float) -> Generator:
+        """Pull ``batch`` from the passive source."""
+        src = self.peer
+        assert src is not None
+        self.pull_pending[batch] = False
+        arrival = Event(self.env)
+        for c in batch:
+            self._pull_inflight[int(c)] = arrival
+        # Pull request (control), then the pipelined data path: source
+        # disk + source read path, fabric, destination write path + disk.
+        yield self.fabric.message(self.host, src.host, tag="control")
+        nbytes = float(batch.size * self.chunk_size)
+        versions = src.chunks.version[batch].copy()
+        wire, extra = self._wire_events(src, batch, versions, nbytes)
+        yield self.env.all_of(
+            [
+                src.vdisk.load(batch),
+                src.pagecache.read(nbytes),
+                self.fabric.transfer(
+                    src.host, self.host, wire, tag="storage-pull", weight=weight
+                ),
+                self.pagecache.write(nbytes),
+                *extra,
+            ]
+        )
+        self.vdisk.disk.touch(batch)
+        # Adopt everything that was not overwritten locally in the meantime.
+        alive = batch[~self._pull_cancelled[batch]]
+        self.stats["cancelled_pulls"] += int(batch.size - alive.size)
+        if alive.size:
+            self.receive_chunks(alive, src.chunks.version[alive].copy())
+        for c in batch:
+            self._pull_inflight.pop(int(c), None)
+        arrival.succeed()
+
+    def _cancel_pulls(self, span: np.ndarray) -> None:
+        """Algorithm 2, destination part: a write kills the chunk's pull."""
+        self.pull_pending[span] = False
+        self._pull_cancelled[span] = True
+
+    def _resume_pull(self) -> None:
+        if self._pull_resume is not None and not self._pull_resume.triggered:
+            self._pull_resume.succeed()
+            self._pull_resume = None
+
+    def _before_read(self, span: np.ndarray) -> Generator:
+        """Algorithm 4: priority handling for reads of remaining chunks."""
+        if not self.is_destination:
+            return
+        # Case 1: wait for chunks already being pulled.
+        inflight = [
+            self._pull_inflight[int(c)] for c in span if int(c) in self._pull_inflight
+        ]
+        # Case 2: on-demand pull for still-pending chunks.
+        needed = span[self.pull_pending[span]]
+        if needed.size:
+            self._ondemand_depth += 1
+            try:
+                yield from self._pull(needed, weight=self.config.ondemand_weight)
+                self.stats["ondemand_chunks"] += int(needed.size)
+            finally:
+                self._ondemand_depth -= 1
+                if self._ondemand_depth == 0:
+                    self._resume_pull()
+        for ev in inflight:
+            if not ev.processed:
+                yield ev
+
+    def _finish_migration(self) -> Generator:
+        """All chunks local: notify the source it can be relinquished."""
+        src = self.peer
+        assert src is not None
+        yield self.fabric.message(self.host, src.host, tag="control")
+        if not src.release_event.triggered:
+            src.release_event.succeed(self.env.now)
+        if not self.release_event.triggered:
+            self.release_event.succeed(self.env.now)

@@ -1,0 +1,24 @@
+"""``postcopy``: pure pull after control transfer.
+
+The paper builds this baseline from its own implementation: "a pure
+post-copy approach, that is based on our approach and simply remains
+passive during the push phase, deferring any transfer until after the
+moment when control is transferred to the destination" (Section 5.2.2).
+We do exactly that: a :class:`HybridManager` with the push disabled.  Every
+modified chunk is then pulled exactly once, which guarantees convergence
+but maximizes the post-control on-demand traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HybridManager
+
+__all__ = ["PostcopyManager"]
+
+
+class PostcopyManager(HybridManager):
+    """Pull-everything-after-control baseline."""
+
+    name = "postcopy"
+    strategy_summary = "Pull from src after transfer of control"
+    push_enabled = False

@@ -1,0 +1,36 @@
+"""Programmatic form of the paper's Table 1 (compared approaches)."""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HybridManager
+from repro.core.manager import MigrationManager
+from repro.core.mirror import MirrorManager
+from repro.core.postcopy import PostcopyManager
+from repro.core.precopy import PrecopyManager
+from repro.core.shared import SharedStorageManager
+
+__all__ = ["APPROACHES", "manager_class", "approach_summary"]
+
+#: Approach name -> manager class, in the paper's Table 1 order.
+APPROACHES: dict[str, type[MigrationManager]] = {
+    "our-approach": HybridManager,
+    "mirror": MirrorManager,
+    "postcopy": PostcopyManager,
+    "precopy": PrecopyManager,
+    "pvfs-shared": SharedStorageManager,
+}
+
+
+def manager_class(name: str) -> type[MigrationManager]:
+    """Look up an approach by its paper name."""
+    try:
+        return APPROACHES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown approach {name!r}; choose from {sorted(APPROACHES)}"
+        ) from None
+
+
+def approach_summary() -> list[tuple[str, str]]:
+    """Rows of Table 1: (approach, local storage transfer strategy)."""
+    return [(name, cls.strategy_summary) for name, cls in APPROACHES.items()]

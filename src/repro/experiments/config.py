@@ -1,0 +1,66 @@
+"""Calibration constants for the paper's evaluation (Section 5.1).
+
+The hardware numbers come straight from the paper's description of the
+Grid'5000 *graphene* cluster; the workload maxima are the paper's measured
+no-migration ceilings used to normalize Figure 3(c).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cloud import ClusterSpec
+
+__all__ = [
+    "GRAPHENE",
+    "graphene_spec",
+    "IOR_MAX_READ",
+    "IOR_MAX_WRITE",
+    "ASYNCWR_MAX_WRITE",
+    "VM_MEMORY",
+    "VM_WORKING_SET",
+    "CM1_WORKING_SET",
+]
+
+#: Paper-measured guest ceilings (Section 5.3).
+IOR_MAX_READ = 1e9  # 1 GB/s POSIX reads, no migration
+IOR_MAX_WRITE = 266e6  # 266 MB/s POSIX writes, no migration
+ASYNCWR_MAX_WRITE = 6e6  # ~6 MB/s constant pressure, no migration
+
+#: VM sizing (Section 5.3/5.5).
+VM_MEMORY = 4 * 2**30
+#: Touched memory shipped by the first pre-copy round.  The paper gives
+#: every VM 4 GB of RAM, but QEMU only moves touched pages: an IOR guest's
+#: page cache holds the whole benchmark file (~1 GB), an AsyncWR guest
+#: touches little beyond its buffers, CM1 keeps subdomain fields and MPI
+#: buffers live.
+VM_WORKING_SET = 1 * 2**30
+ASYNCWR_WORKING_SET = 256 * 2**20
+CM1_WORKING_SET = 1.2 * 2**30
+
+#: The graphene cluster hardware (Section 5.1).
+GRAPHENE = dict(
+    nic_bw=117.5e6,  # measured GbE TCP throughput
+    # The paper quotes ~8 GB/s for the Cisco Catalyst backplane, yet
+    # observes 30 concurrent migrations (30 x 117.5 MB/s ~ 3.5 GB/s of NIC
+    # demand) saturating it.  The effective fabric capacity under many
+    # concurrent flows is therefore well below the marketing aggregate; we
+    # calibrate it so the paper's observed contention point reproduces.
+    backplane_bw=2.5e9,
+    latency=1e-4,  # ~0.1 ms
+    disk_bw=55e6,  # SATA II sequential
+    disk_cache_bytes=8 * 2**30,
+    chunk_size=256 * 1024,  # BlobSeer stripe size
+    image_size=4 * 2**30,  # base disk image
+)
+
+
+def graphene_spec(n_nodes: int, **overrides) -> ClusterSpec:
+    """A ClusterSpec for ``n_nodes`` graphene-calibrated nodes.
+
+    The paper provisions 100 nodes; the simulation only needs the nodes an
+    experiment actually touches (sources + destinations + enough repository
+    striping width), so callers pick smaller counts for speed.  Overrides
+    win over the graphene defaults.
+    """
+    params = dict(GRAPHENE)
+    params.update(overrides)
+    return ClusterSpec(n_nodes=n_nodes, **params)

@@ -1,0 +1,105 @@
+"""Machine-readable export of experiment results.
+
+The text tables in :mod:`repro.experiments.runner` are for humans; this
+module writes the same data as CSV (one row per approach/x-value) and
+JSON (full outcome dumps) so plots and regression dashboards can consume
+reproduction runs without parsing text.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Mapping, Sequence
+
+from repro.experiments.runner import SeriesResult
+from repro.experiments.scenarios import ScenarioOutcome
+
+__all__ = [
+    "outcome_to_dict",
+    "write_table_csv",
+    "write_series_csv",
+    "write_outcomes_json",
+]
+
+
+def outcome_to_dict(outcome: ScenarioOutcome) -> dict:
+    """A ScenarioOutcome as plain JSON-serializable data."""
+    return {
+        "approach": outcome.approach,
+        "workload": outcome.workload,
+        "migration_times": list(outcome.migration_times),
+        "downtimes": list(outcome.downtimes),
+        "traffic_by_tag": dict(outcome.traffic_by_tag),
+        "total_traffic": outcome.total_traffic(),
+        "migration_traffic": outcome.migration_traffic,
+        "read_throughput": outcome.read_throughput,
+        "write_throughput": outcome.write_throughput,
+        "window_write_rate": outcome.window_write_rate,
+        "workload_elapsed": outcome.workload_elapsed,
+        "elapsed_each": list(outcome.elapsed_each),
+        "counters": outcome.counters,
+    }
+
+
+def write_table_csv(
+    path: str | pathlib.Path,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+) -> pathlib.Path:
+    """Grouped-bar data (Figure 3 shape): one row per approach."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["approach", *columns])
+        for name, values in rows.items():
+            if len(values) != len(columns):
+                raise ValueError(
+                    f"row {name!r} has {len(values)} values for "
+                    f"{len(columns)} columns"
+                )
+            writer.writerow([name, *values])
+    return path
+
+
+def write_series_csv(
+    path: str | pathlib.Path,
+    x_label: str,
+    series: Iterable[SeriesResult],
+) -> pathlib.Path:
+    """Line-plot data (Figures 4/5 shape): long format, one row per
+    (approach, x) point."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["approach", x_label, "value"])
+        for s in series:
+            if len(s.x) != len(s.y):
+                raise ValueError(f"series {s.approach!r} has ragged x/y")
+            for x, y in zip(s.x, s.y):
+                writer.writerow([s.approach, x, y])
+    return path
+
+
+def write_outcomes_json(
+    path: str | pathlib.Path,
+    outcomes: Mapping[str, ScenarioOutcome] | Mapping[str, Mapping],
+) -> pathlib.Path:
+    """Full outcome dump, arbitrarily nested dicts of ScenarioOutcomes."""
+
+    def convert(node):
+        if isinstance(node, ScenarioOutcome):
+            return outcome_to_dict(node)
+        if isinstance(node, Mapping):
+            return {str(k): convert(v) for k, v in node.items()}
+        if isinstance(node, (list, tuple)):
+            return [convert(v) for v in node]
+        return node
+
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(convert(outcomes), indent=2, sort_keys=True))
+    return path

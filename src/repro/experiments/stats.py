@@ -1,0 +1,56 @@
+"""Seeded replication and summary statistics for experiments.
+
+The simulator is deterministic given a seed; variability across seeds
+comes from workload randomness (random/Zipf offsets, trace generation,
+the random prefetch policy).  ``replicate`` runs an experiment across
+seeds; ``summarize`` reduces a sample to mean / stddev / a normal-theory
+confidence half-width — enough to put honest error bars on figure points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Summary", "replicate", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample statistics of one metric across replications."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float  # half-width of the ~95% confidence interval
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def replicate(
+    experiment: Callable[[int], T],
+    seeds: Iterable[int] = range(5),
+) -> list[T]:
+    """Run ``experiment(seed)`` for every seed, collecting the results."""
+    return [experiment(int(seed)) for seed in seeds]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/std/CI of a metric sample (n >= 1; std and CI are 0 for n=1)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(1, mean, 0.0, 0.0, values[0], values[0])
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(var)
+    ci95 = 1.96 * std / math.sqrt(n)
+    return Summary(n, mean, std, ci95, min(values), max(values))

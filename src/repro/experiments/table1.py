@@ -1,0 +1,27 @@
+"""Table 1: summary of compared approaches."""
+
+from __future__ import annotations
+
+from repro.core.registry import approach_summary
+
+__all__ = ["run_table1", "render_table1"]
+
+
+def run_table1() -> list[tuple[str, str]]:
+    """The rows of the paper's Table 1, from the approach registry."""
+    return approach_summary()
+
+
+def render_table1() -> str:
+    rows = run_table1()
+    width = max(len(name) for name, _ in rows) + 2
+    lines = ["== Table 1: Summary of compared approaches"]
+    lines.append("Approach".ljust(width) + "Local storage transfer strategy")
+    lines.append("-" * 60)
+    for name, summary in rows:
+        lines.append(name.ljust(width) + summary)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_table1())

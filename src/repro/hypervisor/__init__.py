@@ -1,0 +1,34 @@
+"""Virtual machines and the live migration of their memory.
+
+* :class:`~repro.hypervisor.vm.VMInstance` — guest state: memory size and
+  working set, guest I/O ceilings, pause/resume, the logical content clock
+  used for end-to-end consistency checks, and the workload-coupled memory
+  dirty rate.
+* :class:`~repro.hypervisor.memory.PrecopyMemory` — QEMU-style iterative
+  pre-copy of memory (the paper relies on QEMU's standard live migration
+  for memory and treats storage independently).
+* :class:`~repro.hypervisor.memory.PostcopyMemory` — the paper's
+  future-work alternative memory strategy, provided as an extension.
+* :class:`~repro.hypervisor.control.LiveMigration` — the orchestration:
+  MIGRATION_REQUEST -> memory rounds -> sync -> downtime -> control
+  transfer -> release.
+"""
+
+from repro.hypervisor.control import LiveMigration
+from repro.hypervisor.memory import (
+    AdaptivePrecopyMemory,
+    PostcopyMemory,
+    PrecopyMemory,
+)
+from repro.hypervisor.pagedirty import PageDirtyModel, PageLevelPrecopyMemory
+from repro.hypervisor.vm import VMInstance
+
+__all__ = [
+    "AdaptivePrecopyMemory",
+    "LiveMigration",
+    "PageDirtyModel",
+    "PageLevelPrecopyMemory",
+    "PostcopyMemory",
+    "PrecopyMemory",
+    "VMInstance",
+]

@@ -1,0 +1,12 @@
+"""Measurement: migration spans, traffic, throughput timelines, reports."""
+
+from repro.metrics.collector import MetricsCollector, MigrationRecord
+from repro.metrics.report import render_migration_timeline
+from repro.metrics.timeline import Timeline
+
+__all__ = [
+    "MetricsCollector",
+    "MigrationRecord",
+    "Timeline",
+    "render_migration_timeline",
+]

@@ -1,0 +1,85 @@
+"""ASCII visualization of chunk-level migration state.
+
+A live migration is easiest to debug by *looking* at the chunk map: which
+regions are present, which diverged from the base image, what still waits
+in the remaining set.  ``render_chunk_heatmap`` folds the (possibly tens
+of thousands of) chunks into fixed-width buckets and prints one glyph per
+bucket; ``render_migration_state`` shows both sides of an in-flight
+migration at once.
+
+Glyph legend (worst state in the bucket wins):
+
+    ``.`` untouched      ``o`` present (base content cached)
+    ``#`` modified       ``!`` pending pull (remaining set)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_chunk_heatmap", "render_migration_state"]
+
+
+def _bucketize(mask: np.ndarray, width: int) -> np.ndarray:
+    """Fraction of set bits per bucket, shape (width,)."""
+    n = len(mask)
+    edges = np.linspace(0, n, width + 1).astype(int)
+    out = np.zeros(width)
+    for i in range(width):
+        lo, hi = edges[i], max(edges[i + 1], edges[i] + 1)
+        out[i] = mask[lo:hi].mean() if hi <= n else mask[lo:].mean()
+    return out
+
+
+def render_chunk_heatmap(
+    chunks,
+    width: int = 64,
+    pending: np.ndarray | None = None,
+) -> str:
+    """One line of glyphs summarizing a ChunkMap (plus optional pull set)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    present = _bucketize(chunks.present, width)
+    modified = _bucketize(chunks.modified, width)
+    pend = _bucketize(pending, width) if pending is not None else np.zeros(width)
+    glyphs = []
+    for i in range(width):
+        if pend[i] > 0:
+            glyphs.append("!")
+        elif modified[i] > 0:
+            glyphs.append("#")
+        elif present[i] > 0:
+            glyphs.append("o")
+        else:
+            glyphs.append(".")
+    return "".join(glyphs)
+
+
+def render_migration_state(manager, width: int = 64) -> str:
+    """Both sides of a migration as labeled heatmap rows.
+
+    ``manager`` may be either side; the pair is resolved via ``peer``.
+    """
+    sides = []
+    seen = set()
+    node = manager
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        role = (
+            "source" if node.is_source
+            else ("destination" if node.is_destination else "idle")
+        )
+        pending = getattr(node, "pull_pending", None)
+        remaining = getattr(node, "remaining", None)
+        overlay = None
+        if node.is_destination and pending is not None and pending.any():
+            overlay = pending
+        elif node.is_source and remaining is not None and remaining.any():
+            overlay = remaining
+        sides.append(
+            f"{node.node.name:>8} [{role:11}] "
+            f"{render_chunk_heatmap(node.chunks, width, overlay)}"
+        )
+        node = node.peer
+    legend = ".=untouched o=present #=modified !=pending"
+    return "\n".join(sides + [f"{'':8} {legend}"])

@@ -1,0 +1,101 @@
+"""Migration-level metrics.
+
+The paper's three metrics (Section 2):
+
+* **Migration time** — from MIGRATION_REQUEST until the source is
+  relinquished.  For pre-copy/mirror/pvfs-shared that is the moment control
+  transfers; for our-approach/post-copy it additionally includes the pull
+  of all remaining chunks (Section 5.2).
+* **Network traffic** — read from the fabric's
+  :class:`~repro.netsim.traffic.TrafficMeter` by tag; not duplicated here.
+* **Impact on application performance** — measured by the workloads
+  themselves (achieved throughput / computational potential) and attached
+  to experiment results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MigrationRecord", "MetricsCollector"]
+
+
+@dataclass
+class MigrationRecord:
+    """Timeline of one live migration."""
+
+    vm: str
+    source: str
+    destination: str
+    requested_at: float
+    control_at: Optional[float] = None
+    downtime: Optional[float] = None
+    released_at: Optional[float] = None
+    memory_rounds: int = 0
+    memory_bytes: float = 0.0
+    #: True when the migration was cancelled before control transfer
+    #: (destination failure / middleware withdrawal); the VM stayed on
+    #: the source.
+    aborted: bool = False
+    #: Phase spans ``(name, start, end)`` in wall order, recorded by the
+    #: hypervisor (see metrics.report.render_migration_timeline).
+    phases: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def add_phase(self, name: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"phase {name!r} ends before it starts")
+        self.phases.append((name, start, end))
+
+    @property
+    def migration_time(self) -> Optional[float]:
+        """Request -> source relinquished (the paper's migration time)."""
+        if self.released_at is None:
+            return None
+        return self.released_at - self.requested_at
+
+    @property
+    def time_to_control(self) -> Optional[float]:
+        if self.control_at is None:
+            return None
+        return self.control_at - self.requested_at
+
+
+class MetricsCollector:
+    """Collects MigrationRecords across an experiment."""
+
+    def __init__(self) -> None:
+        self.records: list[MigrationRecord] = []
+
+    def migration_requested(
+        self, vm: str, source: str, destination: str, now: float
+    ) -> MigrationRecord:
+        rec = MigrationRecord(
+            vm=vm, source=source, destination=destination, requested_at=now
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- queries -------------------------------------------------------------
+    def completed(self) -> list[MigrationRecord]:
+        return [r for r in self.records if r.released_at is not None]
+
+    def migration_times(self) -> list[float]:
+        return [r.migration_time for r in self.completed()]
+
+    def total_migration_time(self) -> float:
+        return sum(self.migration_times())
+
+    def average_migration_time(self) -> float:
+        times = self.migration_times()
+        if not times:
+            raise ValueError("no completed migrations")
+        return sum(times) / len(times)
+
+    def max_downtime(self) -> float:
+        downs = [r.downtime for r in self.completed() if r.downtime is not None]
+        return max(downs, default=0.0)
+
+    def __repr__(self) -> str:
+        done = len(self.completed())
+        return f"<MetricsCollector {done}/{len(self.records)} migrations complete>"

@@ -1,0 +1,49 @@
+"""Human-readable reporting: migration phase timelines.
+
+Renders a :class:`~repro.metrics.collector.MigrationRecord`'s phase spans
+as an ASCII Gantt chart — the textual equivalent of the paper's Figure 2
+("overview of the live storage transfer as it progresses in time").
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MigrationRecord
+
+__all__ = ["render_migration_timeline"]
+
+
+def render_migration_timeline(record: MigrationRecord, width: int = 60) -> str:
+    """An ASCII Gantt of the migration's phases.
+
+    Each row is one phase; bar extents are proportional to wall time
+    within [requested_at, released_at].
+    """
+    if record.released_at is None:
+        return f"<migration of {record.vm} still in progress>"
+    if not record.phases:
+        return f"<migration of {record.vm}: no phase trace recorded>"
+    t0 = record.requested_at
+    span = max(record.released_at - t0, 1e-9)
+    label_w = max(len(name) for name, _, _ in record.phases) + 2
+
+    lines = [
+        f"Live migration of {record.vm}: {record.source} -> "
+        f"{record.destination} "
+        f"({record.migration_time:.2f}s total, "
+        f"{(record.downtime or 0) * 1000:.1f}ms downtime)"
+    ]
+    for name, start, end in record.phases:
+        a = int(round((start - t0) / span * width))
+        b = int(round((end - t0) / span * width))
+        b = max(b, a + 1)  # visible sliver for sub-pixel phases
+        bar = " " * a + "#" * (b - a)
+        lines.append(
+            f"{name.ljust(label_w)}|{bar.ljust(width)}| "
+            f"{end - start:8.3f}s"
+        )
+    axis = f"{'':{label_w}}+{'-' * width}+"
+    lines.append(axis)
+    lines.append(
+        f"{'':{label_w}} t={t0:.2f}s{'':{max(width - 18, 1)}}t={record.released_at:.2f}s"
+    )
+    return "\n".join(lines)

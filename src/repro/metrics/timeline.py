@@ -1,0 +1,57 @@
+"""Cumulative time-series sampling (throughput curves, progress counters)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """An append-only series of ``(t, value)`` samples.
+
+    Used by workloads to record completed-bytes / completed-iterations over
+    time; rates are derived by differencing.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self._t.append(t)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def last_value(self, default: float = 0.0) -> float:
+        return self._v[-1] if self._v else default
+
+    def mean_rate(self, t_start: float | None = None, t_end: float | None = None) -> float:
+        """Average d(value)/dt over the given window (default: full span)."""
+        if len(self._t) < 2:
+            return 0.0
+        t = self.times
+        v = self.values
+        lo = t[0] if t_start is None else t_start
+        hi = t[-1] if t_end is None else t_end
+        if hi <= lo:
+            return 0.0
+        v_lo = float(np.interp(lo, t, v))
+        v_hi = float(np.interp(hi, t, v))
+        return (v_hi - v_lo) / (hi - lo)
+
+    def __repr__(self) -> str:
+        return f"<Timeline {self.name} n={len(self)}>"

@@ -1,0 +1,258 @@
+"""The live fabric: flows, byte integration, rate recomputation.
+
+The :class:`Fabric` keeps the set of in-flight flows.  Whenever the set
+changes (a transfer starts or completes) it
+
+1. integrates every flow's progress at the previous rates up to *now*
+   (crediting the traffic meter),
+2. recomputes the weighted max-min fair rates via progressive filling,
+3. schedules a wakeup at the earliest next completion.
+
+This makes interference between memory migration, storage push/pull,
+repository fetches and guest remote I/O fully emergent: they are just flows
+competing for NICs and the backplane.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.fairness import maxmin_single_switch
+from repro.netsim.topology import Host, Topology
+from repro.netsim.traffic import TrafficMeter
+from repro.simkernel.core import Environment, Event
+
+__all__ = ["NetFlow", "Fabric"]
+
+# Bytes below which a flow counts as finished: far below any chunk, far
+# above float64 rounding on multi-GB transfers.
+_DONE_EPS = 1e-3
+# Minimum wakeup delta, so the clock always advances past float spacing.
+_MIN_ETA = 1e-9
+
+
+class NetFlow:
+    """One in-flight bulk transfer."""
+
+    __slots__ = ("src", "dst", "tag", "weight", "nbytes", "remaining", "rate",
+                 "done", "started_at", "_accounted")
+
+    def __init__(
+        self,
+        env: Environment,
+        src: Host,
+        dst: Host,
+        nbytes: float,
+        tag: str,
+        weight: float,
+    ):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.weight = float(weight)
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.done = Event(env)
+        self.started_at = env.now
+        self._accounted = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<NetFlow {self.src.name}->{self.dst.name} tag={self.tag} "
+            f"{self.remaining:.0f}/{self.nbytes:.0f}B @{self.rate:.0f}B/s>"
+        )
+
+
+class Fabric:
+    """Flow-level network over a :class:`Topology`.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        Hosts and capacity constraints.
+    latency:
+        One-way message latency in seconds (0.1 ms on the paper's GbE).
+    meter:
+        Traffic accounting sink; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        latency: float = 1e-4,
+        meter: Optional[TrafficMeter] = None,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.topology = topology
+        self.latency = float(latency)
+        self.meter = meter if meter is not None else TrafficMeter()
+        self._flows: list[NetFlow] = []
+        self._last_update = env.now
+        self._wakeup_token = 0
+
+    # -- public ------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def flow_rates(self) -> dict[str, float]:
+        """Snapshot ``{src->dst/tag: rate}`` for diagnostics."""
+        return {
+            f"{fl.src.name}->{fl.dst.name}/{fl.tag}": fl.rate for fl in self._flows
+        }
+
+    def host_load(self, host: Host) -> tuple[float, float]:
+        """Current (ingress, egress) flow rates touching ``host`` in bytes/s.
+
+        Used by the CPU-coupling model: moving bytes costs host CPU
+        (vhost/softirq work), which slows guest compute proportionally.
+        """
+        inbound = sum(fl.rate for fl in self._flows if fl.dst is host)
+        outbound = sum(fl.rate for fl in self._flows if fl.src is host)
+        return inbound, outbound
+
+    def sync(self) -> None:
+        """Integrate all in-flight flows' progress up to *now*.
+
+        The traffic meter is updated lazily (at flow arrivals/departures);
+        samplers call this to observe up-to-date totals mid-transfer.
+        """
+        self._advance()
+        self._recompute()
+        self._reschedule()
+
+    def transfer(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: float,
+        tag: str = "data",
+        weight: float = 1.0,
+    ) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst`` as a fluid flow.
+
+        Returns an event that fires (with the elapsed duration as value)
+        when the last byte has arrived.  Loopback transfers (``src is dst``)
+        complete immediately and generate no traffic.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if src is dst:
+            ev = Event(self.env)
+            ev.succeed(0.0)
+            return ev
+        flow = NetFlow(self.env, src, dst, nbytes, tag, weight)
+        if nbytes == 0:
+            flow.done.succeed(0.0)
+            return flow.done
+        self._advance()
+        self._flows.append(flow)
+        self._recompute()
+        self._reschedule()
+        return flow.done
+
+    def message(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control") -> Event:
+        """A small control message: one latency plus serialization at NIC speed.
+
+        Control messages are not pushed through the fluid scheduler — they
+        are tiny compared to bulk flows and modeling them as flows would only
+        add noise and event churn.
+        """
+        if src is dst:
+            ev = Event(self.env)
+            ev.succeed(0.0)
+            return ev
+        self.meter.add(tag, nbytes)
+        wire = nbytes / min(src.nic_out, dst.nic_in)
+        return self.env.timeout(self.latency + wire)
+
+    def rpc(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control"):
+        """Generator helper: request + reply round trip."""
+        yield self.message(src, dst, nbytes, tag=tag)
+        yield self.message(dst, src, nbytes, tag=tag)
+
+    # -- internals -----------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        finished: list[NetFlow] = []
+        for fl in self._flows:
+            moved = min(fl.rate * dt, fl.remaining)
+            fl.remaining -= moved
+            fl._accounted += moved
+            self.meter.add(fl.tag, moved)
+            if fl.remaining <= _DONE_EPS:
+                fl.remaining = 0.0
+                finished.append(fl)
+        for fl in finished:
+            self._flows.remove(fl)
+            # Credit any residual rounding so accounting is exact.
+            if fl._accounted < fl.nbytes:
+                self.meter.add(fl.tag, fl.nbytes - fl._accounted)
+                fl._accounted = fl.nbytes
+            fl.done.succeed(self.env.now - fl.started_at)
+
+    def _recompute(self) -> None:
+        if not self._flows:
+            return
+        srcs = np.fromiter((fl.src.index for fl in self._flows), dtype=np.intp)
+        dsts = np.fromiter((fl.dst.index for fl in self._flows), dtype=np.intp)
+        weights = np.fromiter((fl.weight for fl in self._flows), dtype=np.float64)
+        topo = self.topology
+        host_racks = uplink_caps = None
+        if topo.rack_uplinks:
+            host_racks = topo.rack_array()
+            n_racks = int(host_racks.max()) + 1
+            uplink_caps = np.full(n_racks, np.inf)
+            for rack, cap in topo.rack_uplinks.items():
+                if rack < n_racks:
+                    uplink_caps[rack] = cap
+        rates = maxmin_single_switch(
+            weights,
+            srcs,
+            dsts,
+            topo.nic_out_array(),
+            topo.nic_in_array(),
+            topo.backplane,
+            host_racks=host_racks,
+            uplink_caps=uplink_caps,
+        )
+        for fl, rate in zip(self._flows, rates):
+            fl.rate = float(rate)
+
+    def _reschedule(self) -> None:
+        self._wakeup_token += 1
+        if not self._flows:
+            return
+        token = self._wakeup_token
+        eta = min(
+            (fl.remaining / fl.rate for fl in self._flows if fl.rate > 0),
+            default=None,
+        )
+        if eta is None:
+            # Degenerate: every flow throttled to zero (cannot normally
+            # happen with positive capacities); retry after a tick rather
+            # than deadlock.
+            eta = 1.0
+        timer = self.env.timeout(max(eta, _MIN_ETA))
+        timer.add_callback(lambda _ev: self._on_wakeup(token))
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return
+        self._advance()
+        self._recompute()
+        self._reschedule()

@@ -1,0 +1,171 @@
+"""Hosts, NICs and the constraint view of the fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.fairness import Constraint
+
+__all__ = ["Host", "Topology"]
+
+
+@dataclass
+class Host:
+    """A compute node's network attachment point.
+
+    NICs are full duplex: ``nic_out`` caps the sum of egress flow rates,
+    ``nic_in`` the sum of ingress flow rates, independently.  ``rack``
+    places the host behind a top-of-rack switch; flows between racks also
+    consume the racks' uplinks (when the topology constrains them).
+    """
+
+    name: str
+    index: int
+    nic_out: float
+    nic_in: float
+    rack: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nic_out <= 0 or self.nic_in <= 0:
+            raise ValueError(f"host {self.name!r}: NIC capacities must be > 0")
+        if self.rack < 0:
+            raise ValueError(f"host {self.name!r}: rack must be >= 0")
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name}>"
+
+
+@dataclass
+class Topology:
+    """A single-switch datacenter topology.
+
+    Parameters
+    ----------
+    backplane:
+        Aggregate switch capacity in bytes/second shared by *all* inter-host
+        flows, or ``None`` for a non-blocking switch.
+    """
+
+    backplane: float | None = None
+    hosts: list[Host] = field(default_factory=list)
+    #: Per-rack uplink capacity in bytes/second (each direction); racks
+    #: not listed here have unconstrained uplinks.
+    rack_uplinks: dict[int, float] = field(default_factory=dict)
+    _by_name: dict[str, Host] = field(default_factory=dict)
+    _nic_out_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    _nic_in_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    _rack_cache: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.intp))
+
+    def add_host(
+        self,
+        name: str,
+        nic_out: float,
+        nic_in: float | None = None,
+        rack: int = 0,
+    ) -> Host:
+        """Register a host; ``nic_in`` defaults to ``nic_out`` (full duplex)."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = Host(
+            name=name,
+            index=len(self.hosts),
+            nic_out=float(nic_out),
+            nic_in=float(nic_in if nic_in is not None else nic_out),
+            rack=int(rack),
+        )
+        self.hosts.append(host)
+        self._by_name[name] = host
+        return host
+
+    def set_rack_uplink(self, rack: int, capacity: float) -> None:
+        """Constrain rack ``rack``'s uplink to ``capacity`` bytes/s per
+        direction (cross-rack flows consume it at both ends)."""
+        if capacity <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.rack_uplinks[int(rack)] = float(capacity)
+
+    def __getitem__(self, name: str) -> Host:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def nic_out_array(self) -> np.ndarray:
+        """Per-host egress caps, indexed by host index (cached)."""
+        if len(self._nic_out_cache) != len(self.hosts):
+            self._nic_out_cache = np.array([h.nic_out for h in self.hosts])
+        return self._nic_out_cache
+
+    def nic_in_array(self) -> np.ndarray:
+        if len(self._nic_in_cache) != len(self.hosts):
+            self._nic_in_cache = np.array([h.nic_in for h in self.hosts])
+        return self._nic_in_cache
+
+    def rack_array(self) -> np.ndarray:
+        """Per-host rack ids, indexed by host index (cached)."""
+        if len(self._rack_cache) != len(self.hosts):
+            self._rack_cache = np.array(
+                [h.rack for h in self.hosts], dtype=np.intp
+            )
+        return self._rack_cache
+
+    def constraints_for(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+    ) -> list[Constraint]:
+        """Build the constraint set for flows described by ``srcs``/``dsts``
+        (arrays of host indices).
+
+        One egress constraint per host with outgoing flows, one ingress
+        constraint per host with incoming flows, plus the backplane over all
+        flows (when configured).
+        """
+        constraints: list[Constraint] = []
+        n = len(srcs)
+        if n == 0:
+            return constraints
+        srcs = np.asarray(srcs, dtype=np.intp)
+        dsts = np.asarray(dsts, dtype=np.intp)
+
+        for hidx in np.unique(srcs):
+            members = np.flatnonzero(srcs == hidx)
+            host = self.hosts[hidx]
+            constraints.append(
+                Constraint(host.nic_out, members, name=f"nic-out:{host.name}")
+            )
+        for hidx in np.unique(dsts):
+            members = np.flatnonzero(dsts == hidx)
+            host = self.hosts[hidx]
+            constraints.append(
+                Constraint(host.nic_in, members, name=f"nic-in:{host.name}")
+            )
+        if self.rack_uplinks:
+            racks = self.rack_array()
+            src_rack = racks[srcs]
+            dst_rack = racks[dsts]
+            cross = src_rack != dst_rack
+            for rack, cap in self.rack_uplinks.items():
+                out_members = np.flatnonzero(cross & (src_rack == rack))
+                if out_members.size:
+                    constraints.append(
+                        Constraint(cap, out_members, name=f"uplink-out:{rack}")
+                    )
+                in_members = np.flatnonzero(cross & (dst_rack == rack))
+                if in_members.size:
+                    constraints.append(
+                        Constraint(cap, in_members, name=f"uplink-in:{rack}")
+                    )
+        if self.backplane is not None:
+            constraints.append(
+                Constraint(self.backplane, np.arange(n), name="backplane")
+            )
+        return constraints

@@ -1,0 +1,31 @@
+"""Repository interface: what a migration manager needs from shared storage."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.netsim.topology import Host
+from repro.simkernel.core import Event
+
+__all__ = ["Repository"]
+
+
+class Repository(Protocol):
+    """Anything that can deliver base-image chunks to a compute host."""
+
+    chunk_size: int
+
+    def fetch(
+        self,
+        chunk_ids: np.ndarray,
+        dest: Host,
+        weight: float = 1.0,
+        tag: str = "repo-fetch",
+    ) -> Event:
+        """Deliver the given base-image chunks to ``dest``.
+
+        Returns an event firing when the last byte has arrived.
+        """
+        ...

@@ -1,0 +1,112 @@
+"""Timeouts, condition events and interrupts."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simkernel.core import NORMAL, Environment, Event
+
+__all__ = ["Timeout", "Condition", "AnyOf", "AllOf", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    :attr:`cause` carries whatever the interrupter passed.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Timeout(Event):
+    """An event that fires a fixed ``delay`` after creation."""
+
+    def __init__(self, env: Environment, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay=self.delay)
+
+    def succeed(self, value: Any = None) -> Event:  # pragma: no cover
+        raise RuntimeError("a Timeout triggers itself")
+
+    def fail(self, exception: BaseException) -> Event:  # pragma: no cover
+        raise RuntimeError("a Timeout triggers itself")
+
+
+class Condition(Event):
+    """Waits for a boolean combination of child events.
+
+    The condition's value is a dict mapping each *triggered* child event to
+    its value at the moment the condition fired.  A failing child fails the
+    whole condition (and the child's exception is marked defused, since the
+    condition consumes it).
+    """
+
+    def __init__(self, env: Environment, evaluate, events: list[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.add_callback(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        # ``processed`` (callbacks already ran), not ``triggered``: a Timeout
+        # knows its value at construction, long before it actually fires.
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return count == len(events)
+
+
+class AnyOf(Condition):
+    """Fires when the first of ``events`` fires."""
+
+    def __init__(self, env: Environment, events: list[Event]):
+        super().__init__(env, Condition.any_events, events)
+
+
+class AllOf(Condition):
+    """Fires when every one of ``events`` has fired."""
+
+    def __init__(self, env: Environment, events: list[Event]):
+        super().__init__(env, Condition.all_events, events)

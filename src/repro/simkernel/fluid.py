@@ -1,0 +1,143 @@
+"""Equal-share fluid resource.
+
+Models a single capacity constraint (a disk, a single link) shared by a
+varying set of concurrent transfers: at any instant each of the ``k`` active
+jobs progresses at ``weight_i / sum(weights) * capacity`` bytes/second
+(processor sharing).  Whenever the job set changes, progress is integrated
+up to *now* and the next completion re-scheduled.
+
+This is the standard fluid approximation used by flow-level network and
+storage simulators; it reproduces throughput/latency interference without
+simulating individual requests.
+"""
+
+from __future__ import annotations
+
+from repro.simkernel.core import Environment, Event
+
+__all__ = ["FluidShare", "FluidJob"]
+
+#: Bytes below which a job counts as finished.  Far below any chunk size,
+#: far above float64 rounding error on multi-GB transfers.
+_DONE_EPS = 1e-3
+#: Minimum wakeup delta: guarantees the clock actually advances even when
+#: the analytic eta underflows float spacing at the current time.
+_MIN_ETA = 1e-9
+
+
+class FluidJob:
+    """One in-flight transfer through a :class:`FluidShare`."""
+
+    __slots__ = ("nbytes", "remaining", "weight", "done", "started_at")
+
+    def __init__(self, env: Environment, nbytes: float, weight: float):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.weight = float(weight)
+        self.done = Event(env)
+        self.started_at = env.now
+
+
+class FluidShare:
+    """A processor-sharing fluid server of fixed ``capacity`` bytes/second."""
+
+    def __init__(self, env: Environment, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        self.name = name
+        self._jobs: list[FluidJob] = []
+        self._last_update = env.now
+        self._wakeup_token = 0
+        #: Total bytes ever completed through this resource.
+        self.total_bytes = 0.0
+
+    # -- public ------------------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def utilization(self) -> float:
+        """1.0 while any job is active, else 0.0 (fluid model is work-conserving)."""
+        return 1.0 if self._jobs else 0.0
+
+    def rate_of(self, job: FluidJob) -> float:
+        """Current instantaneous rate of ``job`` in bytes/second."""
+        total_w = sum(j.weight for j in self._jobs)
+        if total_w <= 0 or job not in self._jobs:
+            return 0.0
+        return self.capacity * job.weight / total_w
+
+    def transfer(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Start a transfer of ``nbytes``; returns its completion event."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        job = FluidJob(self.env, nbytes, weight)
+        if nbytes == 0:
+            job.done.succeed(0.0)
+            return job.done
+        self._advance()
+        self._jobs.append(job)
+        self._reschedule()
+        return job.done
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change capacity on the fly (integrates progress first)."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
+    # -- internals -----------------------------------------------------------
+    def _advance(self) -> None:
+        """Integrate all jobs' progress from the last update to now."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        total_w = sum(j.weight for j in self._jobs)
+        moved = self.capacity * dt
+        finished: list[FluidJob] = []
+        for job in self._jobs:
+            delta = moved * job.weight / total_w
+            job.remaining -= delta
+            if job.remaining <= _DONE_EPS:
+                job.remaining = 0.0
+                finished.append(job)
+        for job in finished:
+            self._jobs.remove(job)
+            self.total_bytes += job.nbytes
+            job.done.succeed(self.env.now - job.started_at)
+
+    def _reschedule(self) -> None:
+        """Schedule a wakeup at the earliest next completion time."""
+        self._wakeup_token += 1
+        if not self._jobs:
+            return
+        token = self._wakeup_token
+        total_w = sum(j.weight for j in self._jobs)
+        # Per unit of weight, all jobs progress at the same normalized speed,
+        # so the first to finish is the one with min remaining/weight.
+        eta = min(
+            j.remaining / (self.capacity * j.weight / total_w) for j in self._jobs
+        )
+        timer = self.env.timeout(max(eta, _MIN_ETA))
+        timer.add_callback(lambda _ev: self._on_wakeup(token))
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return  # stale timer: the job set changed since it was armed
+        self._advance()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FluidShare {self.name or hex(id(self))} cap={self.capacity:.0f}B/s "
+            f"jobs={len(self._jobs)}>"
+        )

@@ -1,0 +1,188 @@
+"""Queued contention primitives: Resource, Store, Container.
+
+These model FIFO-queued exclusive servers (``Resource``), object queues
+(``Store``) and bulk level tanks (``Container``).  They are intentionally
+minimal: the migration testbed mostly uses the fluid models in
+:mod:`repro.simkernel.fluid` and :mod:`repro.netsim`, but RPC endpoints,
+per-node admission and mailbox-style message passing use these.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.simkernel.core import Environment, Event
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class _Request(Event):
+    """An event granted when the resource admits this request."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the queue."""
+        if not self.triggered:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    Usage inside a process::
+
+        req = res.request()
+        yield req
+        try:
+            ...  # hold the slot
+        finally:
+            res.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[_Request] = set()
+        self._waiting: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            request.cancel()
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of Python objects.
+
+    ``put`` blocks when the store is full (bounded case); ``get`` blocks when
+    it is empty.  Used as the mailbox primitive for inter-node messages.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progressed = True
+            while self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True
+
+
+class Container:
+    """A homogeneous bulk tank (a float level between 0 and ``capacity``)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,103 @@
+"""The copy-on-write virtual disk exposed to the hypervisor.
+
+A :class:`VirtualDisk` is the *local view* of a VM's disk image on one
+compute node: chunk geometry, the :class:`~repro.storage.chunks.ChunkMap`
+state, and the node's :class:`~repro.storage.disk.LocalDisk` used for chunk
+content I/O.  The base image itself lives in the shared repository; chunks
+of it materialize locally on first access (Figure 1's "Local R/W" path).
+
+The migration strategies in :mod:`repro.core` mutate the chunk map through
+the owning :class:`~repro.core.manager.MigrationManager`, never directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simkernel.core import Environment, Event
+from repro.storage.chunks import ChunkMap
+from repro.storage.disk import LocalDisk
+
+__all__ = ["VirtualDisk"]
+
+
+class VirtualDisk:
+    """Local chunked view of a VM disk image.
+
+    Parameters
+    ----------
+    size:
+        Image size in bytes (the paper uses a 4 GB raw image).
+    chunk_size:
+        Transfer granularity (the paper stripes at 256 KB).
+    disk:
+        The node-local physical disk backing chunk contents.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        size: int,
+        chunk_size: int,
+        disk: LocalDisk,
+        name: str = "",
+        base_allocated: int = 0,
+    ):
+        if size % chunk_size != 0:
+            raise ValueError("size must be a multiple of chunk_size")
+        if base_allocated < 0 or base_allocated > size:
+            raise ValueError("base_allocated must lie in [0, size]")
+        self.env = env
+        self.name = name
+        self.chunk_size = int(chunk_size)
+        self.n_chunks = int(size // chunk_size)
+        self.chunks = ChunkMap(self.n_chunks, self.chunk_size)
+        self.disk = disk
+        #: Bytes of the base image that actually hold data (OS files, user
+        #: applications); the rest of the virtual disk is unallocated.
+        #: Block-level migrators that flatten the image (QEMU's block
+        #: migration) must move this portion too.
+        self.base_allocated = int(base_allocated)
+
+    def base_allocated_mask(self) -> np.ndarray:
+        """Boolean mask of chunks holding allocated base-image data."""
+        mask = np.zeros(self.n_chunks, dtype=bool)
+        mask[: self.base_allocated // self.chunk_size] = True
+        return mask
+
+    @property
+    def size(self) -> int:
+        return self.chunks.size
+
+    # -- content I/O ---------------------------------------------------------
+    def store(self, chunk_ids: np.ndarray, weight: float = 1.0) -> Event:
+        """Persist the contents of ``chunk_ids`` to the local disk."""
+        chunk_ids = np.asarray(chunk_ids, dtype=np.intp)
+        nbytes = float(len(chunk_ids) * self.chunk_size)
+        return self.disk.io(nbytes, chunks=chunk_ids, weight=weight)
+
+    def load(self, chunk_ids: np.ndarray, weight: float = 1.0) -> Event:
+        """Read the contents of ``chunk_ids`` from the local disk (warm
+        chunks bypass the platter)."""
+        chunk_ids = np.asarray(chunk_ids, dtype=np.intp)
+        nbytes = float(len(chunk_ids) * self.chunk_size)
+        return self.disk.io(nbytes, chunks=chunk_ids, weight=weight)
+
+    # -- clone bootstrap -------------------------------------------------------
+    def clone_geometry(self, disk: LocalDisk, name: str = "") -> "VirtualDisk":
+        """A fresh, empty virtual disk with identical geometry on another
+        node (the destination side of a migration)."""
+        return VirtualDisk(
+            self.env,
+            size=self.size,
+            chunk_size=self.chunk_size,
+            disk=disk,
+            name=name or f"{self.name}-clone",
+            base_allocated=self.base_allocated,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualDisk {self.name} {self.size / 2**30:.1f}GiB "
+            f"x{self.chunk_size // 1024}KiB {self.chunks!r}>"
+        )

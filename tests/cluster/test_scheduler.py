@@ -1,0 +1,178 @@
+"""Tests for the datacenter management policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+from repro.cluster.scheduler import DatacenterScheduler
+from repro.simkernel import Environment
+from tests.conftest import SMALL_SPEC
+
+MB = 2**20
+
+
+def make_cloud(n_nodes=6):
+    env = Environment()
+    spec = dict(SMALL_SPEC)
+    spec["n_nodes"] = n_nodes
+    cloud = CloudMiddleware(Cluster(env, ClusterSpec(**spec)))
+    return env, cloud
+
+
+def deploy(cloud, name, node, write_mb=8):
+    vm = cloud.deploy(name, cloud.cluster.node(node), working_set=16 * MB)
+
+    def seed():
+        yield from vm.write(0, write_mb * MB)
+
+    cloud.env.process(seed())
+    return vm
+
+
+def test_capacity_validation():
+    env, cloud = make_cloud()
+    with pytest.raises(ValueError):
+        DatacenterScheduler(cloud, capacity=0)
+
+
+def test_occupancy_and_queries():
+    env, cloud = make_cloud()
+    deploy(cloud, "a", 0)
+    deploy(cloud, "b", 0)
+    deploy(cloud, "c", 1)
+    sched = DatacenterScheduler(cloud)
+    occ = sched.occupancy()
+    assert occ["node0"] == 2 and occ["node1"] == 1 and occ["node2"] == 0
+    assert len(sched.vms_on(cloud.cluster.node(0))) == 2
+
+
+class TestEvacuate:
+    def test_node_emptied(self):
+        env, cloud = make_cloud()
+        vms = [deploy(cloud, f"vm{i}", 0) for i in range(3)]
+        sched = DatacenterScheduler(cloud)
+        out = {}
+
+        def proc():
+            yield env.timeout(2.0)
+            out["records"] = yield sched.evacuate(cloud.cluster.node(0))
+
+        env.process(proc())
+        env.run()
+        assert len(out["records"]) == 3
+        assert sched.occupancy()["node0"] == 0
+        for vm in vms:
+            assert vm.node is not cloud.cluster.node(0)
+            clock = vm.content_clock
+            written = clock > 0
+            np.testing.assert_array_equal(
+                vm.manager.chunks.version[written], clock[written]
+            )
+
+    def test_spreads_over_least_loaded(self):
+        env, cloud = make_cloud()
+        for i in range(3):
+            deploy(cloud, f"vm{i}", 0)
+        deploy(cloud, "busy", 1)  # node1 already loaded
+        sched = DatacenterScheduler(cloud, capacity=2)
+
+        def proc():
+            yield env.timeout(2.0)
+            yield sched.evacuate(cloud.cluster.node(0))
+
+        env.process(proc())
+        env.run()
+        occ = sched.occupancy()
+        assert occ["node0"] == 0
+        assert max(occ.values()) <= 2
+
+    def test_no_capacity_raises(self):
+        env, cloud = make_cloud(n_nodes=2)
+        sched = DatacenterScheduler(cloud, capacity=1)
+        for i in range(1):
+            deploy(cloud, f"a{i}", 0)
+        deploy(cloud, "b", 1)  # the only other node is full
+
+        def proc():
+            yield env.timeout(2.0)
+            with pytest.raises(RuntimeError, match="no capacity"):
+                yield sched.evacuate(cloud.cluster.node(0))
+
+        env.process(proc())
+        env.run()
+
+
+class TestConsolidate:
+    def test_frees_nodes(self):
+        env, cloud = make_cloud()
+        deploy(cloud, "a", 0)
+        deploy(cloud, "b", 1)
+        deploy(cloud, "c", 2)
+        sched = DatacenterScheduler(cloud, capacity=4)
+        out = {}
+
+        def proc():
+            yield env.timeout(2.0)
+            out["result"] = yield sched.consolidate()
+
+        env.process(proc())
+        env.run()
+        records, freed = out["result"]
+        assert len(freed) >= 2  # three singletons pack onto one node
+        occ = sched.occupancy()
+        assert sum(1 for c in occ.values() if c > 0) == 1
+
+    def test_respects_capacity(self):
+        env, cloud = make_cloud()
+        for i in range(2):
+            deploy(cloud, f"a{i}", 0)
+        for i in range(2):
+            deploy(cloud, f"b{i}", 1)
+        sched = DatacenterScheduler(cloud, capacity=3)
+        out = {}
+
+        def proc():
+            yield env.timeout(2.0)
+            out["result"] = yield sched.consolidate()
+
+        env.process(proc())
+        env.run()
+        # 2+2 cannot pack into one node of capacity 3: nothing moves.
+        records, freed = out["result"]
+        assert records == []
+        occ = sched.occupancy()
+        assert occ["node0"] == 2 and occ["node1"] == 2
+
+
+class TestBalance:
+    def test_evens_out_counts(self):
+        env, cloud = make_cloud(n_nodes=4)
+        for i in range(4):
+            deploy(cloud, f"vm{i}", 0)
+        sched = DatacenterScheduler(cloud)
+        out = {}
+
+        def proc():
+            yield env.timeout(2.0)
+            out["records"] = yield sched.balance()
+
+        env.process(proc())
+        env.run()
+        occ = sched.occupancy()
+        assert max(occ.values()) - min(occ.values()) <= 1
+        assert len(out["records"]) == 3  # 4/0/0/0 -> 1/1/1/1
+
+    def test_already_balanced_is_noop(self):
+        env, cloud = make_cloud(n_nodes=4)
+        for i in range(4):
+            deploy(cloud, f"vm{i}", i)
+        sched = DatacenterScheduler(cloud)
+        out = {}
+
+        def proc():
+            yield env.timeout(2.0)
+            out["records"] = yield sched.balance()
+
+        env.process(proc())
+        env.run()
+        assert out["records"] == []

@@ -1,0 +1,38 @@
+"""Shared fixtures for migration strategy tests: a small cluster with a
+fast-to-simulate geometry (small image, big chunks)."""
+
+import pytest
+
+from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+from repro.core.config import MigrationConfig
+from repro.simkernel import Environment
+
+
+SMALL_SPEC = dict(
+    n_nodes=4,
+    nic_bw=100e6,
+    backplane_bw=None,
+    latency=1e-4,
+    disk_bw=55e6,
+    disk_cache_bytes=2 * 2**30,
+    chunk_size=1 * 2**20,
+    image_size=256 * 2**20,
+    base_allocated=64 * 2**20,
+)
+
+
+@pytest.fixture
+def small_cloud():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(**SMALL_SPEC))
+    cloud = CloudMiddleware(cluster, config=MigrationConfig(push_batch=8, pull_batch=8))
+    return env, cloud
+
+
+def deploy_small_vm(cloud, approach, name="vm0", node=0, working_set=64 * 2**20):
+    return cloud.deploy(
+        name,
+        cloud.cluster.node(node),
+        approach=approach,
+        working_set=working_set,
+    )

@@ -1,0 +1,159 @@
+"""Migration abort (pre-control destination failure) and the safety
+trade-off the paper's conclusion discusses.
+
+The paper: "the wide adoption of I/O pre-copy in practice as a
+consequence of its perceived higher safety (i.e. tolerates the failure of
+the destination during migration)".  Tests here (a) verify every approach
+survives a pre-control abort with the VM intact on the source, and
+(b) quantify the flip side — how much guest data already sits safely on
+the destination at control transfer for each approach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APPROACHES
+from repro.workloads.synthetic import SequentialWriter
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+ALL = sorted(APPROACHES)
+
+
+@pytest.mark.parametrize("approach", ALL)
+def test_abort_before_control_leaves_vm_intact(small_cloud, approach):
+    """Interrupting the migration mid-push cancels cleanly: the VM stays
+    on the source, keeps its data, and can run (and migrate) again."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, approach)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 64 * MB)
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def aborter():
+            yield env.timeout(0.3)  # mid-push / mid-memory-round
+            if mig.is_alive:
+                mig.interrupt(cause="destination failed")
+
+        env.process(aborter())
+        record = yield mig
+        out["record"] = record
+        # The guest keeps working on the source afterwards.
+        yield from vm.write(64 * MB, 16 * MB)
+        out["post_write_ok"] = True
+
+    env.process(proc())
+    env.run()
+    rec = out["record"]
+    assert rec.aborted
+    assert rec.control_at is None and rec.released_at is None
+    assert vm.node is cloud.cluster.node(0)
+    assert not vm.paused
+    assert not vm.manager.is_source  # role dropped
+    assert out["post_write_ok"]
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(vm.manager.chunks.version[written], clock[written])
+
+
+def test_aborted_vm_can_migrate_again(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 48 * MB)
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def aborter():
+            yield env.timeout(0.2)
+            if mig.is_alive:
+                mig.interrupt()
+
+        env.process(aborter())
+        first = yield mig
+        assert first.aborted
+        second = yield cloud.migrate(vm, cloud.cluster.node(2))
+        out["second"] = second
+
+    env.process(proc())
+    env.run()
+    assert out["second"].released_at is not None
+    assert vm.node is cloud.cluster.node(2)
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(vm.manager.chunks.version[written], clock[written])
+
+
+def test_cancel_from_destination_rejected(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        yield cloud.migrate(vm, cloud.cluster.node(1))
+        with pytest.raises(RuntimeError, match="destination"):
+            vm.manager.cancel_migration()
+
+    env.process(proc())
+    env.run()
+
+
+class TestSafetyExposure:
+    """How much written data is NOT yet on the destination at control
+    transfer — the bytes at risk if the *source* dies right then."""
+
+    def _exposure(self, approach):
+        from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+        from repro.simkernel import Environment
+        from tests.conftest import SMALL_SPEC
+
+        env = Environment()
+        cloud = CloudMiddleware(Cluster(env, ClusterSpec(**SMALL_SPEC)))
+        vm = deploy_small_vm(cloud, approach)
+        wl = SequentialWriter(
+            vm, total_bytes=96 * MB, rate=24e6, op_size=2 * MB,
+            region_offset=0, region_size=96 * MB,
+        )
+        wl.start()
+        out = {}
+
+        def proc():
+            yield env.timeout(1.0)
+            mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+            def snapshot_at_control():
+                while not vm.manager.is_destination:
+                    yield env.timeout(0.01)
+                src = vm.manager.peer
+                dst = vm.manager
+                modified = src.chunks.modified
+                missing = modified & ~dst.chunks.present
+                out["at_risk"] = int(missing.sum()) * src.chunk_size
+                out["modified"] = int(modified.sum()) * src.chunk_size
+
+            env.process(snapshot_at_control())
+            yield mig
+
+        env.process(proc())
+        env.run()
+        return out["at_risk"], out["modified"]
+
+    def test_precopy_and_mirror_fully_safe_at_control(self):
+        assert self._exposure("precopy")[0] == 0
+        assert self._exposure("mirror")[0] == 0
+
+    def test_postcopy_exposes_everything(self):
+        at_risk, modified = self._exposure("postcopy")
+        # Nearly all written data still lives only on the source.
+        assert at_risk > 0.8 * modified
+
+    def test_hybrid_exposes_less_than_postcopy(self):
+        """The push phase is also a safety improvement over pure postcopy:
+        less data depends on the source surviving the pull phase."""
+        ours, ours_mod = self._exposure("our-approach")
+        postcopy, post_mod = self._exposure("postcopy")
+        assert ours / ours_mod < postcopy / post_mod

@@ -1,0 +1,168 @@
+"""Edge cases and fault-ish scenarios across the migration stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import APPROACHES
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+ALL = sorted(APPROACHES)
+
+
+@pytest.mark.parametrize("approach", ALL)
+def test_migrating_pristine_vm(small_cloud, approach):
+    """A VM that never touched its disk migrates cleanly (empty
+    ModifiedSet: memory-only transfer plus, for precopy, the base bulk)."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, approach)
+    done = {}
+
+    def proc():
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(proc())
+    env.run()
+    assert done["rec"].released_at is not None
+    assert not vm.manager.chunks.modified.any() or approach == "pvfs-shared"
+
+
+def test_parallel_migrations_of_distinct_vms(small_cloud):
+    """Two VMs migrating simultaneously between disjoint node pairs do not
+    corrupt each other's state."""
+    env, cloud = small_cloud
+    vm_a = deploy_small_vm(cloud, "our-approach", name="a", node=0)
+    vm_b = deploy_small_vm(cloud, "our-approach", name="b", node=2)
+    done = {}
+
+    def run(vm, tag, dst):
+        yield from vm.write(0, 32 * MB)
+        done[tag] = yield cloud.migrate(vm, cloud.cluster.node(dst))
+
+    env.process(run(vm_a, "a", 1))
+    env.process(run(vm_b, "b", 3))
+    env.run()
+    for vm in (vm_a, vm_b):
+        clock = vm.content_clock
+        written = clock > 0
+        np.testing.assert_array_equal(
+            vm.manager.chunks.version[written], clock[written]
+        )
+    assert done["a"].released_at is not None
+    assert done["b"].released_at is not None
+
+
+def test_io_beyond_image_rejected(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+
+    def proc():
+        with pytest.raises(ValueError):
+            yield from vm.write(255 * MB, 2 * MB)
+        with pytest.raises(ValueError):
+            yield from vm.read(256 * MB, 1)
+
+    env.process(proc())
+    env.run()
+
+
+def test_zero_length_io_is_noop(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+
+    def proc():
+        yield from vm.write(0, 0)
+        yield from vm.read(0, 0)
+
+    env.process(proc())
+    env.run()
+    assert not vm.manager.chunks.modified.any()
+    assert cloud.cluster.fabric.meter.total() == 0.0
+
+
+def test_guest_io_issued_during_downtime_waits(small_cloud):
+    """I/O issued while the VM is paused completes only after resume."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    completions = []
+    log = {}
+
+    def io_prober():
+        # Fire writes back-to-back so some are guaranteed to straddle the
+        # downtime window.
+        while vm.node is cloud.cluster.node(0) or "rec" not in log:
+            yield from vm.write(0, MB)
+            completions.append(env.now)
+            if len(completions) > 5000:  # safety stop
+                return
+
+    def migrator():
+        yield env.timeout(0.2)
+        rec = yield cloud.migrate(vm, cloud.cluster.node(1))
+        log["rec"] = rec
+
+    env.process(io_prober())
+    env.process(migrator())
+    env.run()
+    rec = log["rec"]
+    pause_start = rec.control_at - rec.downtime
+    assert rec.downtime > 0
+    # At most the single in-flight write drains inside the pause window
+    # (QEMU quiesces outstanding I/O during stop-and-copy); nothing new
+    # starts and completes while paused.
+    inside = [t for t in completions if pause_start < t < rec.control_at]
+    assert len(inside) <= 1
+    # Writes resume after control transfer.
+    assert any(t >= rec.control_at for t in completions)
+
+
+@pytest.mark.parametrize("approach", ["our-approach", "postcopy"])
+def test_read_after_release_uses_local_data(small_cloud, approach):
+    """Once the source is relinquished, destination reads are fully local
+    (no further pulls)."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, approach)
+    times = {}
+
+    def proc():
+        yield from vm.write(0, 32 * MB)
+        yield cloud.migrate(vm, cloud.cluster.node(1))
+        pulled_before = cloud.cluster.fabric.meter.bytes("storage-pull")
+        t0 = env.now
+        yield from vm.read(0, 32 * MB)
+        times["dur"] = env.now - t0
+        times["pull_delta"] = (
+            cloud.cluster.fabric.meter.bytes("storage-pull") - pulled_before
+        )
+
+    env.process(proc())
+    env.run()
+    assert times["pull_delta"] == 0.0
+    assert times["dur"] == pytest.approx(32 * MB / vm.read_bw, rel=0.01)
+
+
+def test_interleaved_migrations_same_pair_of_nodes(small_cloud):
+    """Several VMs on one source node migrating to one destination share
+    the NICs but all complete and stay consistent."""
+    env, cloud = small_cloud
+    vms = [
+        deploy_small_vm(cloud, "our-approach", name=f"v{i}", node=0,
+                        working_set=16 * MB)
+        for i in range(3)
+    ]
+
+    def run(vm):
+        yield from vm.write(0, 16 * MB)
+        yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    for vm in vms:
+        env.process(run(vm))
+    env.run()
+    assert len(cloud.collector.completed()) == 3
+    for vm in vms:
+        clock = vm.content_clock
+        written = clock > 0
+        np.testing.assert_array_equal(
+            vm.manager.chunks.version[written], clock[written]
+        )

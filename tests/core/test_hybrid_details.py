@@ -1,0 +1,234 @@
+"""Behavioural tests for the hybrid manager's push/pull engines
+(Algorithms 1-4 of the paper) beyond the end-to-end integration checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MigrationConfig
+from repro.workloads.synthetic import HotspotWriter, SequentialWriter
+from tests.conftest import SMALL_SPEC, deploy_small_vm
+
+MB = 2**20
+
+
+def make_cloud(**config_kwargs):
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+    from repro.simkernel import Environment
+
+    env = Environment()
+    cloud = CloudMiddleware(
+        Cluster(env, ClusterSpec(**SMALL_SPEC)),
+        config=MigrationConfig(push_batch=8, pull_batch=8, **config_kwargs),
+    )
+    return env, cloud
+
+
+def test_migration_request_resets_write_counts():
+    env, cloud = make_cloud()
+    vm = deploy_small_vm(cloud, "our-approach")
+    mgr = vm.manager
+
+    def proc():
+        yield from vm.write(0, 8 * MB)
+        yield from vm.write(0, 8 * MB)
+        # Pre-request writes never count toward the Threshold.
+        yield from mgr.on_migration_request(cloud.cluster.node(1))
+        assert (mgr.chunks.write_count == 0).all()
+        assert mgr.remaining[:8].all()  # ModifiedSet queued for pushing
+
+    env.process(proc())
+    env.run(until=60.0)
+
+
+def test_threshold_stops_pushing_hot_chunks():
+    """A chunk written >= Threshold times during migration is never pushed
+    again; it must arrive via the pull phase instead."""
+    env, cloud = make_cloud(threshold=2)
+    vm = deploy_small_vm(cloud, "our-approach")
+    wl = SequentialWriter(
+        vm, total_bytes=160 * MB, rate=40e6, op_size=2 * MB,
+        region_offset=0, region_size=16 * MB, seed=0,
+    )  # rewrites a 16 MB region ten times
+    wl.start()
+    done = {}
+
+    def migrator():
+        yield env.timeout(1.0)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(migrator())
+    env.run()
+    src = done and vm.manager.peer
+    assert src.stats["skipped_hot_chunks"] > 0
+    # Consistency still holds despite the skipped pushes.
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(vm.manager.chunks.version[written], clock[written])
+
+
+def test_push_counts_bounded_by_threshold():
+    """No chunk crosses the wire more than Threshold times pre-control:
+    total pushed chunk-events <= Threshold * touched chunks."""
+    for threshold in (1, 2):
+        env, cloud = make_cloud(threshold=threshold)
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = SequentialWriter(
+            vm, total_bytes=128 * MB, rate=32e6, op_size=2 * MB,
+            region_offset=0, region_size=32 * MB, seed=0,
+        )
+        wl.start()
+
+        def migrator():
+            yield env.timeout(1.0)
+            yield cloud.migrate(vm, cloud.cluster.node(1))
+
+        env.process(migrator())
+        env.run()
+        src = vm.manager.peer
+        touched = int((vm.content_clock > 0).sum())
+        assert src.stats["pushed_chunks"] <= threshold * touched + 8  # +1 batch
+
+
+def test_ondemand_read_pull_priority():
+    """A destination read of a not-yet-pulled chunk is served on demand.
+
+    With Threshold=1, chunks written *during* the migration are never
+    pushed — they are guaranteed to be in the remaining set at control
+    transfer, so an immediate destination read of them must go on demand.
+    """
+    env, cloud = make_cloud(threshold=1)
+    vm = deploy_small_vm(cloud, "our-approach")
+    stats = {}
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def during_migration_writer():
+            yield env.timeout(0.1)
+            # Written while the source still runs: deferred to the pull.
+            yield from vm.write(32 * MB, 32 * MB)
+
+        def reader():
+            while not vm.manager.is_destination:
+                yield env.timeout(0.05)
+            # The tail of the written range is pulled last (equal write
+            # counts -> ascending index order), so it is still pending.
+            yield from vm.read(60 * MB, 4 * MB)
+            stats["read_done"] = env.now
+
+        env.process(during_migration_writer())
+        env.process(reader())
+        yield mig
+
+    env.process(proc())
+    env.run()
+    dst = vm.manager
+    assert stats["read_done"] > 0
+    assert dst.stats["ondemand_chunks"] + len(dst._pull_inflight) > 0 or (
+        dst.stats["pulled_chunks"] > 0
+    )
+    # The on-demand path specifically served chunks from the remaining set.
+    assert dst.stats["ondemand_chunks"] > 0
+
+
+def test_destination_write_cancels_pull():
+    """Algorithm 2 at the destination: writing a chunk aborts its pull."""
+    env, cloud = make_cloud()
+    vm = deploy_small_vm(cloud, "our-approach")
+
+    def proc():
+        yield from vm.write(0, 64 * MB)
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def writer():
+            while not vm.manager.is_destination:
+                yield env.timeout(0.05)
+            # Overwrite data that is still queued for pulling.
+            yield from vm.write(32 * MB, 32 * MB)
+
+        env.process(writer())
+        yield mig
+
+    env.process(proc())
+    env.run()
+    dst = vm.manager
+    # The overwritten region must not have been pulled afterwards (either
+    # cancelled while pending or dropped while in flight) and versions win.
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(dst.chunks.version[written], clock[written])
+    assert not dst.pull_pending.any()
+
+
+def test_prefetch_writecount_order_hot_first():
+    """TRANSFER_IO_CONTROL carries per-chunk write counts, and
+    BACKGROUND_PULL prefers the hottest chunks (Algorithm 3)."""
+    # Threshold=1 keeps during-migration writes out of the push, so the
+    # remaining set (and its write counts) survives to TRANSFER_IO_CONTROL.
+    env, cloud = make_cloud(threshold=1)
+    vm = deploy_small_vm(cloud, "our-approach")
+
+    def proc():
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def during_migration_writer():
+            yield env.timeout(0.05)
+            # Region A written once, region B four times, while migrating.
+            yield from vm.write(0, 32 * MB)
+            for _ in range(4):
+                yield from vm.write(48 * MB, 8 * MB)
+
+        env.process(during_migration_writer())
+        yield mig
+
+    env.process(proc())
+    env.run()
+    dst = vm.manager
+    wc = dst._pull_order_wc
+    assert wc is not None
+    hot = wc[48:56]
+    cold = wc[0:32]
+    assert hot.max() > cold.max()
+    assert hot.max() >= 4
+
+
+@pytest.mark.parametrize("policy", ["fifo", "random", "writecount"])
+def test_all_prefetch_policies_converge(policy):
+    env, cloud = make_cloud(prefetch_policy=policy)
+    vm = deploy_small_vm(cloud, "our-approach")
+    wl = HotspotWriter(
+        vm, total_bytes=64 * MB, rate=16e6, op_size=2 * MB,
+        region_offset=0, region_size=64 * MB, seed=5,
+    )
+    wl.start()
+    done = {}
+
+    def migrator():
+        yield env.timeout(1.0)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(migrator())
+    env.run()
+    assert done["rec"].released_at is not None
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(vm.manager.chunks.version[written], clock[written])
+
+
+def test_release_only_after_remaining_drained():
+    env, cloud = make_cloud()
+    vm = deploy_small_vm(cloud, "our-approach")
+    done = {}
+
+    def proc():
+        yield from vm.write(0, 96 * MB)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(proc())
+    env.run()
+    rec = done["rec"]
+    dst = vm.manager
+    assert rec.released_at >= rec.control_at
+    assert not dst.pull_pending.any()
+    assert not dst._pull_inflight

@@ -1,0 +1,199 @@
+"""Tests for disk snapshotting / deploy-from-snapshot ([26], BlobCR)."""
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import DiskSnapshot, SnapshotService
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+def make_service(cloud):
+    return SnapshotService(cloud.cluster.repository)
+
+
+def test_service_requires_store_path(small_cloud):
+    env, cloud = small_cloud
+    with pytest.raises(TypeError, match="store"):
+        SnapshotService(cloud.cluster.pvfs)  # PVFS model has no store()
+
+
+def test_checkpoint_captures_modified_set(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        yield from vm.write(32 * MB, 8 * MB)
+        out["snap"] = yield cloud.checkpoint(vm, service)
+
+    env.process(proc())
+    env.run()
+    snap = out["snap"]
+    assert isinstance(snap, DiskSnapshot)
+    assert snap.vm == "vm0"
+    assert len(snap.chunk_ids) == 24
+    assert snap.nbytes == 24 * MB
+    assert service.snapshots[snap.snapshot_id] is snap
+    # Upload traffic went to the repository servers (minus local stripes).
+    assert cloud.cluster.fabric.meter.bytes("repo-store") > 0
+
+
+def test_checkpoint_is_quiesced(small_cloud):
+    """The VM pauses during the snapshot and resumes after."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 64 * MB)
+        out["snap"] = yield cloud.checkpoint(vm, service)
+        out["resumed"] = not vm.paused
+
+    env.process(proc())
+    env.run()
+    assert out["resumed"]
+    assert vm.paused_time > 0
+
+
+def test_deploy_from_snapshot_clones_content(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        snap = yield cloud.checkpoint(vm, service)
+        clone, restore = cloud.deploy_from_snapshot(
+            "clone0", cloud.cluster.node(2), snap, service
+        )
+        yield restore
+        out["clone"] = clone
+        out["snap"] = snap
+
+    env.process(proc())
+    env.run()
+    clone = out["clone"]
+    snap = out["snap"]
+    assert clone.manager.chunks.present[snap.chunk_ids].all()
+    assert clone.manager.chunks.modified[snap.chunk_ids].all()
+    np.testing.assert_array_equal(
+        clone.manager.chunks.version[snap.chunk_ids], snap.versions
+    )
+
+
+def test_multideployment_from_one_snapshot(small_cloud):
+    """Several instances deploy from the same snapshot (the [26] pattern)."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    clones = []
+
+    def proc():
+        yield from vm.write(0, 8 * MB)
+        snap = yield cloud.checkpoint(vm, service)
+        procs = []
+        for i, node in enumerate((1, 2, 3)):
+            clone, restore = cloud.deploy_from_snapshot(
+                f"clone{i}", cloud.cluster.node(node), snap, service
+            )
+            clones.append(clone)
+            procs.append(restore)
+        yield env.all_of(procs)
+
+    env.process(proc())
+    env.run()
+    assert len(clones) == 3
+    for clone in clones:
+        assert clone.manager.chunks.present[:8].all()
+
+
+def test_restored_clone_migrates_snapshot_content(small_cloud):
+    """Snapshot content counts as modified: a later migration of the clone
+    carries it to the destination."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        snap = yield cloud.checkpoint(vm, service)
+        clone, restore = cloud.deploy_from_snapshot(
+            "clone0", cloud.cluster.node(2), snap, service
+        )
+        yield restore
+        yield cloud.migrate(clone, cloud.cluster.node(3))
+        out["clone"] = clone
+        out["snap"] = snap
+
+    env.process(proc())
+    env.run()
+    clone = out["clone"]
+    snap = out["snap"]
+    assert clone.node is cloud.cluster.node(3)
+    np.testing.assert_array_equal(
+        clone.manager.chunks.version[snap.chunk_ids], snap.versions
+    )
+
+
+def test_post_restore_writes_supersede_snapshot(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        yield from vm.write(0, 4 * MB)
+        yield from vm.write(0, 4 * MB)  # version 2
+        snap = yield cloud.checkpoint(vm, service)
+        clone, restore = cloud.deploy_from_snapshot(
+            "clone0", cloud.cluster.node(2), snap, service
+        )
+        yield restore
+        yield from clone.write(0, 4 * MB)  # must become version 3
+        out["clone"] = clone
+
+    env.process(proc())
+    env.run()
+    clone = out["clone"]
+    assert (clone.manager.chunks.version[:4] == 3).all()
+
+
+def test_geometry_mismatch_rejected(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    snap = DiskSnapshot("s", "x", 0.0, np.array([0]), np.array([1]),
+                        chunk_size=123)
+
+    def proc():
+        with pytest.raises(ValueError, match="geometry"):
+            yield from service.restore_into(snap, vm.manager)
+
+    env.process(proc())
+    env.run()
+
+
+def test_empty_snapshot_restores_trivially(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    service = make_service(cloud)
+    out = {}
+
+    def proc():
+        snap = yield cloud.checkpoint(vm, service)
+        out["snap"] = snap
+        clone, restore = cloud.deploy_from_snapshot(
+            "clone0", cloud.cluster.node(2), snap, service
+        )
+        yield restore
+
+    env.process(proc())
+    env.run()
+    assert out["snap"].nbytes == 0

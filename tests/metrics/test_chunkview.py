@@ -1,0 +1,70 @@
+"""Tests for the chunk-state heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.chunkview import render_chunk_heatmap, render_migration_state
+from repro.storage.chunks import ChunkMap
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+def test_width_validation():
+    cm = ChunkMap(16, 100)
+    with pytest.raises(ValueError):
+        render_chunk_heatmap(cm, width=0)
+
+
+def test_untouched_map_renders_dots():
+    cm = ChunkMap(128, 100)
+    assert render_chunk_heatmap(cm, width=16) == "." * 16
+
+
+def test_states_render_distinct_glyphs():
+    cm = ChunkMap(64, 100)
+    cm.record_fetch(np.arange(0, 16))      # first quarter present
+    cm.record_write(np.arange(16, 32))     # second quarter modified
+    pending = np.zeros(64, dtype=bool)
+    pending[32:48] = True                  # third quarter pending
+    out = render_chunk_heatmap(cm, width=16, pending=pending)
+    assert out == "oooo####!!!!...."
+
+
+def test_width_exceeding_chunks():
+    cm = ChunkMap(4, 100)
+    cm.record_write(np.array([0]))
+    out = render_chunk_heatmap(cm, width=8)
+    assert len(out) == 8
+    assert "#" in out
+
+
+def test_migration_state_both_sides(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    rendered = {}
+
+    def proc():
+        yield from vm.write(0, 64 * MB)
+        mig = cloud.migrate(vm, cloud.cluster.node(1))
+
+        def snapshotter():
+            # Capture mid-pull, when the destination still has pending work.
+            while not vm.manager.is_destination:
+                yield env.timeout(0.1)
+            if vm.manager.pull_pending.any():
+                rendered["mid"] = render_migration_state(vm.manager)
+
+        env.process(snapshotter())
+        yield mig
+        rendered["end"] = render_migration_state(vm.manager)
+
+    env.process(proc())
+    env.run()
+    assert "source" in rendered["end"] and "destination" in rendered["end"]
+    if "mid" in rendered:
+        mid_rows = rendered["mid"].splitlines()[:-1]  # drop the legend line
+        assert any("!" in row for row in mid_rows)
+    # At the end nothing is pending anywhere (ignore the legend line).
+    end_rows = rendered["end"].splitlines()[:-1]
+    assert all("!" not in row for row in end_rows)

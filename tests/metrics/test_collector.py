@@ -1,0 +1,47 @@
+"""Tests for MigrationRecord / MetricsCollector."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+
+
+def test_record_lifecycle():
+    c = MetricsCollector()
+    rec = c.migration_requested("vm0", "a", "b", now=10.0)
+    assert rec.migration_time is None
+    assert rec.time_to_control is None
+    rec.control_at = 15.0
+    rec.downtime = 0.05
+    rec.released_at = 22.0
+    assert rec.migration_time == pytest.approx(12.0)
+    assert rec.time_to_control == pytest.approx(5.0)
+
+
+def test_completed_filters_inflight():
+    c = MetricsCollector()
+    r1 = c.migration_requested("vm0", "a", "b", 0.0)
+    r2 = c.migration_requested("vm1", "a", "b", 0.0)
+    r1.released_at = 5.0
+    assert c.completed() == [r1]
+    assert c.migration_times() == [5.0]
+    assert c.total_migration_time() == 5.0
+
+
+def test_average_requires_completions():
+    c = MetricsCollector()
+    with pytest.raises(ValueError):
+        c.average_migration_time()
+
+
+def test_average_and_max_downtime():
+    c = MetricsCollector()
+    for i, (dur, down) in enumerate([(4.0, 0.01), (6.0, 0.2)]):
+        r = c.migration_requested(f"vm{i}", "a", "b", 0.0)
+        r.released_at = dur
+        r.downtime = down
+    assert c.average_migration_time() == pytest.approx(5.0)
+    assert c.max_downtime() == pytest.approx(0.2)
+
+
+def test_max_downtime_empty():
+    assert MetricsCollector().max_downtime() == 0.0

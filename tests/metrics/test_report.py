@@ -1,0 +1,85 @@
+"""Tests for migration phase traces and the timeline renderer."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, MigrationRecord
+from repro.metrics.report import render_migration_timeline
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+def test_add_phase_validation():
+    rec = MigrationRecord("vm", "a", "b", requested_at=0.0)
+    with pytest.raises(ValueError):
+        rec.add_phase("x", 5.0, 4.0)
+
+
+def test_render_in_progress():
+    rec = MigrationRecord("vm", "a", "b", requested_at=0.0)
+    assert "in progress" in render_migration_timeline(rec)
+
+
+def test_render_no_phases():
+    rec = MigrationRecord("vm", "a", "b", requested_at=0.0)
+    rec.released_at = 5.0
+    assert "no phase trace" in render_migration_timeline(rec)
+
+
+def test_render_gantt_shape():
+    rec = MigrationRecord("vm0", "node0", "node1", requested_at=10.0)
+    rec.control_at = 14.0
+    rec.downtime = 0.05
+    rec.released_at = 20.0
+    rec.add_phase("memory + push", 10.0, 13.95)
+    rec.add_phase("downtime", 13.95, 14.0)
+    rec.add_phase("pull / post-control", 14.0, 20.0)
+    text = render_migration_timeline(rec, width=40)
+    assert "node0 -> node1" in text
+    assert "10.00s total" in text
+    lines = text.splitlines()
+    bars = [ln for ln in lines if "#" in ln]
+    assert len(bars) == 3
+    # The pull phase bar is the longest (6 of 10 seconds).
+    widths = [ln.count("#") for ln in bars]
+    assert widths[2] == max(widths)
+    # Sub-pixel downtime still renders a visible sliver.
+    assert widths[1] >= 1
+
+
+def test_live_migration_records_phases(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    done = {}
+
+    def proc():
+        yield from vm.write(0, 48 * MB)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(proc())
+    env.run()
+    rec = done["rec"]
+    names = [name for name, _, _ in rec.phases]
+    assert names[:4] == ["request/setup", "memory + push", "sync", "downtime"]
+    assert "pull / post-control" in names
+    # Phases tile the migration without gaps.
+    for (_, _, end_a), (_, start_b, _) in zip(rec.phases, rec.phases[1:]):
+        assert end_a == pytest.approx(start_b)
+    text = render_migration_timeline(rec)
+    assert "downtime" in text
+
+
+def test_phases_for_control_released_approaches(small_cloud):
+    """mirror releases at control: no pull phase is recorded."""
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "mirror")
+    done = {}
+
+    def proc():
+        yield from vm.write(0, 16 * MB)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(proc())
+    env.run()
+    names = [name for name, _, _ in done["rec"].phases]
+    assert "pull / post-control" not in names

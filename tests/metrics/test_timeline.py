@@ -1,0 +1,57 @@
+"""Tests for the Timeline series."""
+
+import pytest
+
+from repro.metrics.timeline import Timeline
+
+
+def test_record_and_length():
+    t = Timeline("x")
+    t.record(0.0, 0.0)
+    t.record(1.0, 10.0)
+    assert len(t) == 2
+    assert t.last_value() == 10.0
+
+
+def test_last_value_default():
+    assert Timeline().last_value(default=-1.0) == -1.0
+
+
+def test_time_order_enforced():
+    t = Timeline()
+    t.record(2.0, 1.0)
+    with pytest.raises(ValueError):
+        t.record(1.0, 2.0)
+
+
+def test_mean_rate_full_span():
+    t = Timeline()
+    t.record(0.0, 0.0)
+    t.record(10.0, 100.0)
+    assert t.mean_rate() == pytest.approx(10.0)
+
+
+def test_mean_rate_windowed_interpolates():
+    t = Timeline()
+    t.record(0.0, 0.0)
+    t.record(10.0, 100.0)
+    # Linear interpolation: value(2)=20, value(4)=40 -> rate 10.
+    assert t.mean_rate(2.0, 4.0) == pytest.approx(10.0)
+
+
+def test_mean_rate_uneven_progress():
+    t = Timeline()
+    t.record(0.0, 0.0)
+    t.record(5.0, 100.0)  # fast phase
+    t.record(10.0, 110.0)  # slow phase
+    assert t.mean_rate(0.0, 5.0) == pytest.approx(20.0)
+    assert t.mean_rate(5.0, 10.0) == pytest.approx(2.0)
+
+
+def test_mean_rate_degenerate_cases():
+    t = Timeline()
+    assert t.mean_rate() == 0.0
+    t.record(1.0, 5.0)
+    assert t.mean_rate() == 0.0  # single sample
+    t.record(2.0, 6.0)
+    assert t.mean_rate(3.0, 3.0) == 0.0  # empty window

@@ -1,0 +1,125 @@
+"""Property tests: byte conservation in the fabric under random flow
+programs, and the hybrid push's Threshold bound under random writers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Fabric, Topology
+from repro.simkernel import Environment
+
+MB = 2**20
+
+
+@st.composite
+def flow_programs(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=5))
+    backplane = draw(
+        st.one_of(st.none(), st.floats(min_value=50.0, max_value=500.0))
+    )
+    n_flows = draw(st.integers(min_value=1, max_value=15))
+    flows = []
+    for _ in range(n_flows):
+        s = draw(st.integers(min_value=0, max_value=n_hosts - 1))
+        d = draw(
+            st.integers(min_value=0, max_value=n_hosts - 1).filter(lambda x: x != s)
+        )
+        nbytes = draw(st.floats(min_value=1.0, max_value=5e4))
+        start = draw(st.floats(min_value=0.0, max_value=20.0))
+        weight = draw(st.floats(min_value=0.2, max_value=5.0))
+        tag = draw(st.sampled_from(["a", "b", "c"]))
+        flows.append((s, d, nbytes, start, weight, tag))
+    return n_hosts, backplane, flows
+
+
+@settings(max_examples=80, deadline=None)
+@given(flow_programs())
+def test_property_fabric_byte_conservation(program):
+    """Every transfer completes, and the meter credits exactly the bytes
+    sent, per tag, no matter how flows interleave and contend."""
+    n_hosts, backplane, flows = program
+    env = Environment()
+    topo = Topology(backplane=backplane)
+    for i in range(n_hosts):
+        topo.add_host(f"h{i}", nic_out=100.0)
+    fabric = Fabric(env, topo, latency=0.0)
+    completed = []
+
+    def runner(s, d, nbytes, start, weight, tag):
+        yield env.timeout(start)
+        yield fabric.transfer(
+            topo[f"h{s}"], topo[f"h{d}"], nbytes, tag=tag, weight=weight
+        )
+        completed.append(nbytes)
+
+    for f in flows:
+        env.process(runner(*f))
+    env.run()
+
+    assert len(completed) == len(flows)
+    expected = {}
+    for s, d, nbytes, start, weight, tag in flows:
+        expected[tag] = expected.get(tag, 0.0) + nbytes
+    for tag, total in expected.items():
+        assert fabric.meter.bytes(tag) == pytest.approx(total, rel=1e-6)
+    assert fabric.active_flows == 0
+
+
+@st.composite
+def writer_programs(draw):
+    threshold = draw(st.integers(min_value=1, max_value=4))
+    n_ops = draw(st.integers(min_value=0, max_value=30))
+    ops = [
+        (
+            draw(st.integers(min_value=0, max_value=31)),  # chunk (1 MB each)
+            draw(st.floats(min_value=0.0, max_value=0.3)),  # gap
+        )
+        for _ in range(n_ops)
+    ]
+    return threshold, ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(writer_programs())
+def test_property_threshold_bounds_push_events(program):
+    """The paper's guarantee: before control transfer no chunk crosses the
+    wire more than Threshold times — so pushed chunk-events are bounded by
+    Threshold x touched chunks (plus the pre-request modified set, which
+    also obeys the bound since its counts start at zero)."""
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+    from repro.core.config import MigrationConfig
+    from tests.conftest import SMALL_SPEC, deploy_small_vm
+
+    threshold, ops = program
+    env = Environment()
+    cloud = CloudMiddleware(
+        Cluster(env, ClusterSpec(**SMALL_SPEC)),
+        config=MigrationConfig(threshold=threshold, push_batch=4, pull_batch=4),
+    )
+    vm = deploy_small_vm(cloud, "our-approach", working_set=16 * MB)
+    done = {}
+
+    def guest():
+        for chunk, gap in ops:
+            if gap:
+                yield env.timeout(gap)
+            yield from vm.write(chunk * MB, MB)
+
+    def migrator():
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(guest())
+    env.process(migrator())
+    env.run(until=300.0)
+
+    assert done["rec"].released_at is not None
+    src = vm.manager.peer
+    touched = int((vm.content_clock > 0).sum())
+    # +push_batch: one batch may have been mid-flight at the cutover.
+    assert src.stats["pushed_chunks"] <= threshold * max(touched, 1) + 4
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(
+        vm.manager.chunks.version[written], clock[written]
+    )

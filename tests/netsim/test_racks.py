@@ -1,0 +1,226 @@
+"""Tests for multi-rack topologies: uplink constraints and fast-path
+equivalence with the generic progressive filling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Fabric, Topology
+from repro.netsim.fairness import (
+    Constraint,
+    maxmin_single_switch,
+    progressive_filling,
+)
+from repro.simkernel import Environment
+
+
+def make_racked(nic=100.0, uplink=150.0, hosts_per_rack=3, racks=2):
+    env = Environment()
+    topo = Topology()
+    for r in range(racks):
+        for i in range(hosts_per_rack):
+            topo.add_host(f"r{r}h{i}", nic_out=nic, rack=r)
+        topo.set_rack_uplink(r, uplink)
+    fabric = Fabric(env, topo, latency=0.0)
+    return env, topo, fabric
+
+
+def test_set_uplink_validation():
+    topo = Topology()
+    with pytest.raises(ValueError):
+        topo.set_rack_uplink(0, 0.0)
+    with pytest.raises(ValueError):
+        topo.add_host("h", 10.0, rack=-1)
+
+
+def test_intra_rack_flows_unconstrained_by_uplink():
+    env, topo, fabric = make_racked(uplink=10.0)
+    done = []
+
+    def proc():
+        yield fabric.transfer(topo["r0h0"], topo["r0h1"], 100.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(1.0)]  # full NIC speed
+
+
+def test_cross_rack_flow_capped_by_uplink():
+    env, topo, fabric = make_racked(uplink=50.0)
+    done = []
+
+    def proc():
+        yield fabric.transfer(topo["r0h0"], topo["r1h0"], 100.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(2.0)]  # 50 B/s uplink
+
+
+def test_cross_rack_flows_share_uplink():
+    env, topo, fabric = make_racked(uplink=100.0)
+    times = {}
+
+    def proc(src, dst, tag):
+        yield fabric.transfer(topo[src], topo[dst], 100.0)
+        times[tag] = env.now
+
+    env.process(proc("r0h0", "r1h0", "a"))
+    env.process(proc("r0h1", "r1h1", "b"))
+    env.run()
+    # Two cross-rack flows through a 100 B/s uplink: 50 each.
+    assert times["a"] == pytest.approx(2.0)
+    assert times["b"] == pytest.approx(2.0)
+
+
+def test_intra_rack_unaffected_by_cross_rack_congestion():
+    env, topo, fabric = make_racked(uplink=50.0)
+    times = {}
+
+    def proc(src, dst, tag):
+        yield fabric.transfer(topo[src], topo[dst], 100.0)
+        times[tag] = env.now
+
+    env.process(proc("r0h0", "r1h0", "cross"))
+    env.process(proc("r0h1", "r0h2", "local"))
+    env.run()
+    assert times["local"] == pytest.approx(1.0)
+    assert times["cross"] == pytest.approx(2.0)
+
+
+def test_uplink_consumed_at_both_ends():
+    """A flow r0->r1 consumes r0's out-uplink and r1's in-uplink: traffic
+    into r1 from two different racks shares r1's in-uplink."""
+    env = Environment()
+    topo = Topology()
+    topo.add_host("a", 100.0, rack=0)
+    topo.add_host("b", 100.0, rack=1)
+    topo.add_host("c0", 100.0, rack=2)
+    topo.add_host("c1", 100.0, rack=2)
+    topo.set_rack_uplink(2, 80.0)
+    fabric = Fabric(env, topo, latency=0.0)
+    times = {}
+
+    def proc(src, dst, tag):
+        yield fabric.transfer(topo[src], topo[dst], 80.0)
+        times[tag] = env.now
+
+    env.process(proc("a", "c0", "x"))
+    env.process(proc("b", "c1", "y"))
+    env.run()
+    # Both flows squeeze through rack2's 80 B/s in-uplink: 40 each.
+    assert times["x"] == pytest.approx(2.0)
+    assert times["y"] == pytest.approx(2.0)
+
+
+@st.composite
+def racked_instances(draw):
+    n_racks = draw(st.integers(min_value=1, max_value=3))
+    hosts_per_rack = draw(st.integers(min_value=1, max_value=3))
+    n_hosts = n_racks * hosts_per_rack
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    nic = np.array(
+        draw(st.lists(st.floats(min_value=1.0, max_value=500.0),
+                      min_size=n_hosts, max_size=n_hosts))
+    )
+    racks = np.repeat(np.arange(n_racks, dtype=np.intp), hosts_per_rack)
+    uplinks = np.array(
+        draw(st.lists(
+            st.one_of(st.just(np.inf), st.floats(min_value=1.0, max_value=500.0)),
+            min_size=n_racks, max_size=n_racks,
+        ))
+    )
+    srcs, dsts, weights = [], [], []
+    for _ in range(n_flows):
+        s = draw(st.integers(min_value=0, max_value=n_hosts - 1))
+        d = draw(
+            st.integers(min_value=0, max_value=n_hosts - 1).filter(lambda x: x != s)
+        )
+        srcs.append(s)
+        dsts.append(d)
+        weights.append(draw(st.floats(min_value=0.1, max_value=8.0)))
+    backplane = draw(
+        st.one_of(st.none(), st.floats(min_value=1.0, max_value=2000.0))
+    )
+    return (
+        np.array(weights),
+        np.array(srcs, dtype=np.intp),
+        np.array(dsts, dtype=np.intp),
+        nic,
+        racks,
+        uplinks,
+        backplane,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(racked_instances())
+def test_property_racked_fast_path_matches_generic(instance):
+    weights, srcs, dsts, nic, racks, uplinks, backplane = instance
+    fast = maxmin_single_switch(
+        weights, srcs, dsts, nic, nic, backplane,
+        host_racks=racks, uplink_caps=uplinks,
+    )
+
+    constraints = []
+    for h in np.unique(srcs):
+        constraints.append(Constraint(nic[h], np.flatnonzero(srcs == h)))
+    for h in np.unique(dsts):
+        constraints.append(Constraint(nic[h], np.flatnonzero(dsts == h)))
+    src_rack, dst_rack = racks[srcs], racks[dsts]
+    cross = src_rack != dst_rack
+    for rack, cap in enumerate(uplinks):
+        if not np.isfinite(cap):
+            continue
+        out_m = np.flatnonzero(cross & (src_rack == rack))
+        if out_m.size:
+            constraints.append(Constraint(cap, out_m))
+        in_m = np.flatnonzero(cross & (dst_rack == rack))
+        if in_m.size:
+            constraints.append(Constraint(cap, in_m))
+    if backplane is not None:
+        constraints.append(Constraint(backplane, np.arange(len(weights))))
+    generic = progressive_filling(weights, constraints)
+
+    np.testing.assert_allclose(fast, generic, rtol=1e-6, atol=1e-6)
+
+
+def test_cross_rack_migration_end_to_end():
+    """A live migration across a thin rack uplink completes and stays
+    consistent — the uplink just stretches it."""
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+    from tests.conftest import SMALL_SPEC, deploy_small_vm
+
+    def run(uplink):
+        env = Environment()
+        cloud = CloudMiddleware(Cluster(env, ClusterSpec(**SMALL_SPEC)))
+        topo = cloud.cluster.topology
+        # Rewire: nodes 0,1 in rack 0; nodes 2,3 in rack 1.
+        for i, host in enumerate(topo.hosts):
+            host.rack = i // 2
+        topo._rack_cache = np.zeros(0, dtype=np.intp)  # invalidate cache
+        if uplink is not None:
+            topo.set_rack_uplink(0, uplink)
+            topo.set_rack_uplink(1, uplink)
+        vm = deploy_small_vm(cloud, "our-approach")
+        done = {}
+
+        def proc():
+            yield from vm.write(0, 64 * 2**20)
+            done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(2))
+
+        env.process(proc())
+        env.run()
+        clock = vm.content_clock
+        written = clock > 0
+        np.testing.assert_array_equal(
+            vm.manager.chunks.version[written], clock[written]
+        )
+        return done["rec"].migration_time
+
+    fat = run(None)
+    thin = run(25e6)  # quarter of the NIC
+    assert thin > 2 * fat

@@ -1,0 +1,170 @@
+"""Tests for condition events (AnyOf / AllOf) and interrupts."""
+
+import pytest
+
+from repro.simkernel import Environment
+from repro.simkernel.events import AllOf, AnyOf, Interrupt
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        log.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(1.0, ["fast"])]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    log = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield AllOf(env, [t1, t2])
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(5.0, ["a", "b"])]
+
+
+def test_or_operator():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(1.0) | env.timeout(9.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [1.0]
+
+
+def test_and_operator():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(1.0) & env.timeout(9.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [9.0]
+
+
+def test_empty_anyof_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        result = yield AnyOf(env, [])
+        done.append(result)
+
+    env.process(proc())
+    env.run()
+    assert done == [{}]
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        result = yield AllOf(env, [])
+        done.append(result)
+
+    env.process(proc())
+    env.run()
+    assert done == [{}]
+
+
+def test_condition_with_already_fired_event():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="x")
+        yield t1
+        # t1 has been processed; combining it now must still work.
+        result = yield AnyOf(env, [t1, env.timeout(50.0)])
+        done.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(1.0, ["x"])]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def proc():
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            ev.fail(ValueError("inner"))
+
+        env.process(failer())
+        try:
+            yield AllOf(env, [ev, env.timeout(10.0)])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["inner"]
+
+
+def test_condition_mixed_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AnyOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+def test_interrupt_cause_attribute():
+    intr = Interrupt(cause={"reason": "migration"})
+    assert intr.cause == {"reason": "migration"}
+
+
+def test_anyof_values_snapshot_excludes_untriggered():
+    env = Environment()
+    results = []
+
+    def proc():
+        fast = env.timeout(1.0, value=1)
+        slow = env.timeout(2.0, value=2)
+        got = yield AnyOf(env, [fast, slow])
+        results.append((fast in got, slow in got))
+
+    env.process(proc())
+    env.run()
+    assert results == [(True, False)]
+
+
+def test_anyof_late_failure_is_defused():
+    """A child failing after the condition fired must not crash the run."""
+    env = Environment()
+
+    def proc():
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(2.0)
+            ev.fail(RuntimeError("late"))
+
+        env.process(failer())
+        yield AnyOf(env, [env.timeout(1.0), ev])
+
+    env.process(proc())
+    env.run()  # must not raise

@@ -1,0 +1,202 @@
+"""Tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.simkernel import Container, Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_exclusive_access_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            log.append((tag, "in", env.now))
+            yield env.timeout(hold)
+            log.append((tag, "out", env.now))
+            res.release(req)
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 3.0))
+        env.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 5.0),
+        ]
+
+    def test_multi_slot_concurrency(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        enter = []
+
+        def user(tag):
+            req = res.request()
+            yield req
+            enter.append((tag, env.now))
+            yield env.timeout(1.0)
+            res.release(req)
+
+        for tag in "abc":
+            env.process(user(tag))
+        env.run()
+        assert enter == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert res.count == 1
+        assert res.queue_length == 1
+        res.release(r1)
+        assert res.count == 1  # r2 was admitted
+        assert res.queue_length == 0
+        res.release(r2)
+        assert res.count == 0
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # releasing an unqueued-but-pending request cancels it
+        assert res.queue_length == 0
+        res.release(r1)
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer():
+            yield env.timeout(3.0)
+            yield store.put("msg")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("msg", 3.0)]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            times.append(("put-a", env.now))
+            yield store.put("b")
+            times.append(("put-b", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [("put-a", 0.0), ("put-b", 5.0)]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestContainer:
+    def test_initial_level(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=4)
+        assert c.level == 4
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        c = Container(env, capacity=10)
+        log = []
+
+        def getter():
+            yield c.get(5)
+            log.append(env.now)
+
+        def putter():
+            yield env.timeout(2.0)
+            yield c.put(5)
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert log == [2.0]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=8)
+        log = []
+
+        def putter():
+            yield c.put(5)
+            log.append(env.now)
+
+        def getter():
+            yield env.timeout(3.0)
+            yield c.get(4)
+
+        env.process(putter())
+        env.process(getter())
+        env.run()
+        assert log == [3.0]
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=-1)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=9)
+        c = Container(env, capacity=5)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)

@@ -1,0 +1,124 @@
+"""Tests for the ChunkMap state arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.chunks import ChunkMap
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ChunkMap(0, 256)
+    with pytest.raises(ValueError):
+        ChunkMap(10, 0)
+
+
+def test_size():
+    cm = ChunkMap(16, 256 * 1024)
+    assert cm.size == 4 * 1024 * 1024
+
+
+class TestChunkSpan:
+    def test_aligned_single_chunk(self):
+        cm = ChunkMap(8, 100)
+        assert cm.chunk_span(0, 100).tolist() == [0]
+
+    def test_aligned_multi_chunk(self):
+        cm = ChunkMap(8, 100)
+        assert cm.chunk_span(100, 300).tolist() == [1, 2, 3]
+
+    def test_unaligned_straddles(self):
+        cm = ChunkMap(8, 100)
+        assert cm.chunk_span(50, 100).tolist() == [0, 1]
+
+    def test_zero_bytes(self):
+        cm = ChunkMap(8, 100)
+        assert cm.chunk_span(100, 0).tolist() == []
+
+    def test_end_of_disk(self):
+        cm = ChunkMap(8, 100)
+        assert cm.chunk_span(700, 100).tolist() == [7]
+
+    def test_out_of_range_rejected(self):
+        cm = ChunkMap(8, 100)
+        with pytest.raises(ValueError):
+            cm.chunk_span(700, 101)
+        with pytest.raises(ValueError):
+            cm.chunk_span(-1, 10)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=799),
+        nbytes=st.integers(min_value=1, max_value=800),
+    )
+    def test_property_span_covers_exact_byte_range(self, offset, nbytes):
+        cm = ChunkMap(8, 100)
+        if offset + nbytes > cm.size:
+            return
+        span = cm.chunk_span(offset, nbytes)
+        # Every byte in range is covered, no chunk is superfluous.
+        assert span[0] * 100 <= offset < (span[0] + 1) * 100
+        assert span[-1] * 100 < offset + nbytes <= (span[-1] + 1) * 100
+        assert (np.diff(span) == 1).all()
+
+
+class TestStateTransitions:
+    def test_record_write_sets_present_modified_version(self):
+        cm = ChunkMap(8, 100)
+        cm.record_write(np.array([1, 2]))
+        assert cm.present[[1, 2]].all()
+        assert cm.modified[[1, 2]].all()
+        assert cm.version[1] == 1 and cm.version[2] == 1
+        assert cm.write_count.sum() == 0  # not counting by default
+
+    def test_record_write_counts_when_asked(self):
+        cm = ChunkMap(8, 100)
+        cm.record_write(np.array([3]), count_writes=True)
+        cm.record_write(np.array([3]), count_writes=True)
+        assert cm.write_count[3] == 2
+        assert cm.version[3] == 2
+
+    def test_record_fetch_presence_only(self):
+        cm = ChunkMap(8, 100)
+        cm.record_fetch(np.array([0, 5]))
+        assert cm.present[[0, 5]].all()
+        assert not cm.modified.any()
+        assert (cm.version == 0).all()
+
+    def test_reset_write_counts(self):
+        cm = ChunkMap(8, 100)
+        cm.record_write(np.array([1]), count_writes=True)
+        cm.reset_write_counts()
+        assert (cm.write_count == 0).all()
+        assert cm.modified[1]  # ModifiedSet survives the reset
+
+    def test_modified_set_and_bytes(self):
+        cm = ChunkMap(8, 100)
+        cm.record_write(np.array([2, 4, 6]))
+        assert cm.modified_set().tolist() == [2, 4, 6]
+        assert cm.modified_bytes() == 300
+
+    def test_missing_in(self):
+        cm = ChunkMap(8, 100)
+        cm.record_fetch(np.array([1, 3]))
+        missing = cm.missing_in(np.array([0, 1, 2, 3]))
+        assert missing.tolist() == [0, 2]
+
+    def test_adopt_versions(self):
+        src = ChunkMap(8, 100)
+        src.record_write(np.array([1, 1, 2]))  # version[1] bumps twice? no: fancy
+        # numpy fancy indexing with repeats only bumps once; write twice:
+        src.record_write(np.array([1]))
+        dst = ChunkMap(8, 100)
+        chunks = np.array([1, 2])
+        dst.adopt_versions(chunks, src.version[chunks])
+        assert dst.present[[1, 2]].all()
+        assert (dst.version[chunks] == src.version[chunks]).all()
+
+    def test_snapshot_versions_is_a_copy(self):
+        cm = ChunkMap(4, 100)
+        snap = cm.snapshot_versions()
+        cm.record_write(np.array([0]))
+        assert snap[0] == 0

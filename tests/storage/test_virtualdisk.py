@@ -1,0 +1,72 @@
+"""Tests for VirtualDisk geometry and local store I/O."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import Environment
+from repro.storage.disk import LocalDisk
+from repro.storage.virtualdisk import VirtualDisk
+
+
+def make_vdisk(size=1600, chunk=100, bw=100.0, cache=0.0):
+    env = Environment()
+    disk = LocalDisk(env, bandwidth=bw, cache_bytes=cache, chunk_size=chunk)
+    vd = VirtualDisk(env, size=size, chunk_size=chunk, disk=disk, name="vd")
+    return env, vd
+
+
+def test_size_must_be_chunk_multiple():
+    env = Environment()
+    disk = LocalDisk(env, bandwidth=10.0)
+    with pytest.raises(ValueError):
+        VirtualDisk(env, size=150, chunk_size=100, disk=disk)
+
+
+def test_geometry():
+    env, vd = make_vdisk()
+    assert vd.n_chunks == 16
+    assert vd.size == 1600
+
+
+def test_store_takes_disk_time():
+    env, vd = make_vdisk()
+    done = []
+
+    def proc():
+        yield vd.store(np.array([0, 1, 2]))
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [3.0]  # 300 B at 100 B/s
+
+
+def test_load_warm_is_instant():
+    env, vd = make_vdisk(cache=1600.0)
+    done = []
+
+    def proc():
+        yield vd.store(np.array([0, 1]))  # warms them
+        t0 = env.now
+        yield vd.load(np.array([0, 1]))
+        done.append(env.now - t0)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_clone_geometry():
+    env, vd = make_vdisk()
+    disk2 = LocalDisk(env, bandwidth=100.0)
+    clone = vd.clone_geometry(disk2, name="dst")
+    assert clone.n_chunks == vd.n_chunks
+    assert clone.chunk_size == vd.chunk_size
+    assert clone.name == "dst"
+    assert not clone.chunks.present.any()
+
+
+def test_store_empty_is_instant():
+    env, vd = make_vdisk()
+    ev = vd.store(np.array([], dtype=np.intp))
+    assert ev.triggered

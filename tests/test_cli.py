@@ -1,0 +1,59 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_grid_parsing():
+    args = build_parser().parse_args(["fig5", "--grid", "2x3"])
+    assert args.grid == (2, 3)
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5", "--grid", "nope"])
+
+
+def test_unknown_approach_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["single", "--approach", "teleport"])
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "our-approach" in out
+    assert "pvfs-shared" in out
+
+
+def test_single(capsys):
+    assert main(["single", "--approach", "postcopy", "--workload", "ior",
+                 "--warmup", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "postcopy" in out
+    assert "mig time" in out
+
+
+def test_compare_runs_all(capsys):
+    assert main(["compare", "--workload", "ior", "--warmup", "5"]) == 0
+    out = capsys.readouterr().out
+    for approach in ("our-approach", "mirror", "postcopy", "precopy",
+                     "pvfs-shared"):
+        assert approach in out
+
+
+def test_fig1(capsys):
+    assert main(["fig1", "--nodes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Cloud architecture" in out
+    assert "node3" in out
+
+
+def test_fig2(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "progresses in time" in out
+    assert "downtime" in out

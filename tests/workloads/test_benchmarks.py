@@ -1,0 +1,116 @@
+"""Tests for the IOR and AsyncWR benchmark models."""
+
+import pytest
+
+from repro.workloads.asyncwr import AsyncWRWorkload
+from repro.workloads.ior import IORWorkload
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+class TestIOR:
+    def test_validation(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        with pytest.raises(ValueError):
+            IORWorkload(vm, file_size=10 * MB, op_size=3 * MB)
+        with pytest.raises(ValueError):
+            IORWorkload(vm, n_regions=0)
+
+    def test_no_migration_throughput_matches_calibration(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = IORWorkload(vm, iterations=2, file_size=64 * MB, op_size=8 * MB,
+                         file_offset=0, n_regions=1)
+        wl.start()
+        env.run()
+        assert wl.write_throughput() == pytest.approx(vm.write_bw, rel=0.01)
+        assert wl.read_throughput() == pytest.approx(vm.read_bw, rel=0.01)
+
+    def test_iterations_complete(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = IORWorkload(vm, iterations=3, file_size=16 * MB, op_size=8 * MB,
+                         file_offset=0, n_regions=1)
+        wl.start()
+        env.run()
+        assert wl.iterations_done == 3
+        assert wl.bytes_written == 3 * 16 * MB
+        assert wl.bytes_read == 3 * 16 * MB
+
+    def test_regions_cycle(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = IORWorkload(vm, iterations=4, file_size=16 * MB, op_size=8 * MB,
+                         file_offset=0, n_regions=2)
+        wl.start()
+        env.run()
+        # Regions 0 and 1 each rewritten twice (16 MB = 16 chunks of 1 MB).
+        assert (vm.content_clock[:16] == 2).all()
+        assert (vm.content_clock[16:32] == 2).all()
+
+    def test_dirty_rate_set_and_cleared(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = IORWorkload(vm, iterations=1, file_size=16 * MB, op_size=8 * MB,
+                         file_offset=0, n_regions=1, dirty_rate=7e6)
+        wl.start()
+        env.run()
+        assert vm.dirty_rate_base == 0.0  # cleared after completion
+
+
+class TestAsyncWR:
+    def test_validation(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        with pytest.raises(ValueError):
+            AsyncWRWorkload(vm, io_pressure=0)
+        with pytest.raises(ValueError):
+            AsyncWRWorkload(vm, n_slots=0)
+
+    def test_counter_reaches_iterations(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = AsyncWRWorkload(vm, iterations=10, data_per_iter=2 * MB,
+                             io_pressure=2e6, file_offset=0, n_slots=4)
+        wl.start()
+        env.run()
+        assert wl.counter == 10
+        assert wl.computational_potential() == 10
+        assert wl.bytes_written == 10 * 2 * MB
+
+    def test_baseline_duration_matches_pressure(self, small_cloud):
+        """With fast local I/O the run takes iterations * compute_time."""
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        vm.cpu_coupling = 0.0
+        wl = AsyncWRWorkload(vm, iterations=10, data_per_iter=2 * MB,
+                             io_pressure=2e6, file_offset=0, n_slots=4)
+        wl.start()
+        env.run()
+        expected = 10 * wl.compute_time
+        assert wl.elapsed == pytest.approx(expected, rel=0.05)
+
+    def test_writes_are_asynchronous(self, small_cloud):
+        """Write time never blocks the compute loop when I/O is faster
+        than the compute period (the double-buffer absorbs it)."""
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        vm.cpu_coupling = 0.0
+        wl = AsyncWRWorkload(vm, iterations=5, data_per_iter=2 * MB,
+                             io_pressure=1e6, file_offset=0, n_slots=4)
+        wl.start()
+        env.run()
+        # elapsed ~= compute only; the writes ran in the background.
+        assert wl.elapsed == pytest.approx(5 * wl.compute_time, rel=0.05)
+
+    def test_slots_reused(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = AsyncWRWorkload(vm, iterations=8, data_per_iter=2 * MB,
+                             io_pressure=2e6, file_offset=0, n_slots=2)
+        wl.start()
+        env.run()
+        # 8 iterations over 2 slots of 2 chunks: each chunk written 4x.
+        assert (vm.content_clock[:4] == 4).all()

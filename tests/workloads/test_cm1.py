@@ -1,0 +1,149 @@
+"""Tests for the CM1 BSP stencil model and its barrier."""
+
+import pytest
+
+from repro.simkernel import Environment
+from repro.workloads.cm1 import Barrier, CM1Workload, build_cm1_ensemble
+from tests.conftest import SMALL_SPEC
+
+
+class TestBarrier:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Barrier(env, 0)
+
+    def test_all_must_arrive(self):
+        env = Environment()
+        barrier = Barrier(env, 3)
+        log = []
+
+        def rank(i, delay):
+            yield env.timeout(delay)
+            yield barrier.arrive()
+            log.append((i, env.now))
+
+        env.process(rank(0, 1.0))
+        env.process(rank(1, 2.0))
+        env.process(rank(2, 5.0))
+        env.run()
+        assert [t for _, t in log] == [5.0, 5.0, 5.0]
+
+    def test_barrier_is_reusable(self):
+        env = Environment()
+        barrier = Barrier(env, 2)
+        log = []
+
+        def rank(i):
+            for step in range(3):
+                yield env.timeout(1.0 + i)
+                yield barrier.arrive()
+                log.append((i, step, env.now))
+
+        env.process(rank(0))
+        env.process(rank(1))
+        env.run()
+        assert barrier.generations == 3
+        # Both ranks sync at the slower rank's pace each step.
+        times = sorted({t for _, _, t in log})
+        assert times == [2.0, 4.0, 6.0]
+
+
+def make_cloud():
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+
+    env = Environment()
+    spec = dict(SMALL_SPEC)
+    spec["n_nodes"] = 6
+    cloud = CloudMiddleware(Cluster(env, ClusterSpec(**spec)))
+    return env, cloud
+
+
+def deploy_ensemble(env, cloud, grid=(2, 2), **kwargs):
+    n = grid[0] * grid[1]
+    vms = [
+        cloud.deploy(f"rank{i}", cloud.cluster.node(i), approach="our-approach",
+                     working_set=64 * 2**20)
+        for i in range(n)
+    ]
+    params = dict(n_steps=6, step_compute=1.0, halo_bytes=1 * 2**20,
+                  dump_every=3, dump_bytes=8 * 2**20, file_offset=0)
+    params.update(kwargs)
+    ranks = build_cm1_ensemble(env, vms, cloud.cluster.fabric, grid, **params)
+    return vms, ranks
+
+
+def test_grid_size_must_match():
+    env, cloud = make_cloud()
+    vms = [cloud.deploy("a", cloud.cluster.node(0))]
+    with pytest.raises(ValueError, match="need 4 VMs"):
+        build_cm1_ensemble(env, vms, cloud.cluster.fabric, (2, 2))
+
+
+def test_neighbours_of_corner_and_center():
+    env, cloud = make_cloud()
+    vms, ranks = deploy_ensemble(env, cloud, grid=(2, 2))
+    # Rank 0 (corner of a 2x2): neighbours right (1) and down (2).
+    assert sorted(ranks[0]._neighbours()) == [1, 2]
+    assert sorted(ranks[3]._neighbours()) == [1, 2]
+
+
+def test_ensemble_runs_all_steps(small_cloud=None):
+    env, cloud = make_cloud()
+    vms, ranks = deploy_ensemble(env, cloud)
+    for r in ranks:
+        r.start()
+    env.run()
+    assert all(r.steps_done == 6 for r in ranks)
+    assert all(r.dumps_done == 2 for r in ranks)
+    # Halo traffic was generated.
+    assert cloud.cluster.fabric.meter.bytes("app") > 0
+
+
+def test_ranks_stay_in_lockstep():
+    """BSP: no rank can be more than one step ahead of any other."""
+    env, cloud = make_cloud()
+    vms, ranks = deploy_ensemble(env, cloud)
+    for r in ranks:
+        r.start()
+
+    def monitor():
+        while any(r.finished_at is None for r in ranks):
+            steps = [r.steps_done for r in ranks]
+            assert max(steps) - min(steps) <= 1
+            yield env.timeout(0.5)
+
+    env.process(monitor())
+    env.run()
+
+
+def test_slow_rank_drags_ensemble():
+    """Pausing one rank stalls everyone at the barrier."""
+    env, cloud = make_cloud()
+    vms, ranks = deploy_ensemble(env, cloud, dump_every=100)
+    for r in ranks:
+        r.start()
+
+    def pauser():
+        yield env.timeout(1.5)
+        vms[0].pause()
+        yield env.timeout(4.0)
+        vms[0].resume()
+
+    env.process(pauser())
+    env.run()
+    ends = [r.finished_at for r in ranks]
+    # All ranks delayed by roughly the pause length.
+    assert min(ends) > 6 * 1.0 + 3.0
+
+
+def test_dumps_alternate_regions():
+    env, cloud = make_cloud()
+    vms, ranks = deploy_ensemble(env, cloud, n_steps=12, dump_every=3)
+    for r in ranks:
+        r.start()
+    env.run()
+    # 4 dumps over 2 alternating 8 MB regions -> chunks written twice.
+    clock = vms[0].content_clock
+    assert (clock[:8] == 2).all()
+    assert (clock[8:16] == 2).all()

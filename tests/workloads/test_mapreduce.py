@@ -1,0 +1,126 @@
+"""Tests for the MapReduce workload."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import Environment
+from repro.workloads.mapreduce import MapReduceWorker, build_mapreduce_ensemble
+from tests.conftest import SMALL_SPEC
+
+MB = 2**20
+
+JOB = dict(
+    input_split=32 * MB,
+    spill_ratio=0.5,
+    output_ratio=0.25,
+    input_offset=0,
+    scratch_offset=96 * MB,
+)
+
+
+def make_cloud(n_nodes=6):
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+
+    env = Environment()
+    spec = dict(SMALL_SPEC)
+    spec["n_nodes"] = n_nodes
+    cloud = CloudMiddleware(Cluster(env, ClusterSpec(**spec)))
+    return env, cloud
+
+
+def deploy_job(env, cloud, n_workers=4, **overrides):
+    vms = [
+        cloud.deploy(f"w{i}", cloud.cluster.node(i), working_set=32 * MB)
+        for i in range(n_workers)
+    ]
+    params = dict(JOB)
+    params.update(overrides)
+    workers = build_mapreduce_ensemble(env, vms, cloud.cluster.fabric, **params)
+    for w in workers:
+        w.start()
+    return vms, workers
+
+
+def test_empty_ensemble_rejected():
+    env, cloud = make_cloud()
+    with pytest.raises(ValueError):
+        build_mapreduce_ensemble(env, [], cloud.cluster.fabric)
+
+
+def test_job_completes_with_phase_order():
+    env, cloud = make_cloud()
+    vms, workers = deploy_job(env, cloud)
+    env.run()
+    for w in workers:
+        assert w.finished_at is not None
+        assert w.phase_times["map"] <= w.phase_times["shuffle"]
+        assert w.phase_times["shuffle"] <= w.phase_times["reduce"]
+
+
+def test_input_read_from_repository():
+    env, cloud = make_cloud()
+    vms, workers = deploy_job(env, cloud)
+    env.run()
+    # First touch of the input splits fetched base content.
+    assert cloud.cluster.fabric.meter.bytes("repo-fetch") > 0
+
+
+def test_shuffle_generates_app_traffic():
+    env, cloud = make_cloud()
+    vms, workers = deploy_job(env, cloud, n_workers=4)
+    env.run()
+    # Each of 4 workers sends 3 partitions of spill/4 = 4 MB.
+    expected = 4 * 3 * (16 * MB // 4)
+    assert cloud.cluster.fabric.meter.bytes("app") == pytest.approx(expected)
+
+
+def test_spill_and_output_land_locally():
+    env, cloud = make_cloud()
+    vms, workers = deploy_job(env, cloud, n_workers=2)
+    env.run()
+    clock = vms[0].content_clock
+    spill_chunks = clock[96:112]  # 16 MB spill at 1 MB chunks
+    output_chunks = clock[112:120]  # 8 MB output
+    assert (spill_chunks > 0).all()
+    assert (output_chunks > 0).all()
+
+
+def test_barrier_couples_workers():
+    """A paused worker stalls everyone at the map barrier."""
+    env, cloud = make_cloud()
+    vms, workers = deploy_job(env, cloud, n_workers=3)
+
+    def pauser():
+        yield env.timeout(0.2)
+        vms[0].pause()
+        yield env.timeout(5.0)
+        vms[0].resume()
+
+    env.process(pauser())
+    env.run()
+    # Nobody could shuffle before the paused worker finished its map.
+    stall_floor = min(w.phase_times["shuffle"] for w in workers)
+    assert stall_floor > 5.0
+
+
+def test_migration_mid_shuffle_consistent():
+    """Live-migrate one worker during the job: everything still completes
+    and converges."""
+    env, cloud = make_cloud(n_nodes=6)
+    vms, workers = deploy_job(env, cloud, n_workers=4)
+    done = {}
+
+    def migrator():
+        yield env.timeout(1.0)
+        done["rec"] = yield cloud.migrate(vms[0], cloud.cluster.node(5))
+
+    env.process(migrator())
+    env.run()
+    assert done["rec"].released_at is not None
+    for w in workers:
+        assert w.finished_at is not None
+    clock = vms[0].content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(
+        vms[0].manager.chunks.version[written], clock[written]
+    )

@@ -1,0 +1,115 @@
+"""Tests for PacedReader and MixedOLTP."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import MixedOLTP, PacedReader
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+class TestPacedReader:
+    def test_validation(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        with pytest.raises(ValueError):
+            PacedReader(vm, total_bytes=10, rate=0)
+
+    def test_reads_paced_and_counted(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        reader = PacedReader(vm, total_bytes=16 * MB, rate=4e6, op_size=2 * MB,
+                             region_offset=0, region_size=16 * MB)
+        reader.start()
+        env.run()
+        assert reader.bytes_read == 16 * MB
+        assert reader.elapsed >= 16 * MB / 4e6 - 2 * MB / 4e6 - 1e-6
+        # First touch fetched base content from the repository.
+        assert cloud.cluster.fabric.meter.bytes("repo-fetch") > 0
+
+    def test_reader_during_postcopy_pull(self, small_cloud):
+        """Reads keep succeeding across the pull phase (on-demand path)."""
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "postcopy")
+
+        def proc():
+            yield from vm.write(0, 48 * MB)
+            mig = cloud.migrate(vm, cloud.cluster.node(1))
+            reader = PacedReader(vm, total_bytes=48 * MB, rate=24e6,
+                                 op_size=2 * MB, region_offset=0,
+                                 region_size=48 * MB)
+            reader.start()
+            yield mig
+            yield reader.proc
+
+        env.process(proc())
+        env.run()
+        clock = vm.content_clock
+        written = clock > 0
+        np.testing.assert_array_equal(
+            vm.manager.chunks.version[written], clock[written]
+        )
+
+
+class TestMixedOLTP:
+    def test_validation(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        with pytest.raises(ValueError):
+            MixedOLTP(vm, transactions=-1)
+        with pytest.raises(ValueError):
+            MixedOLTP(vm, think_time=-0.1)
+
+    def test_commits_and_latencies(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        oltp = MixedOLTP(vm, transactions=50, seed=2,
+                         region_offset=64 * MB, region_size=128 * MB)
+        oltp.start()
+        env.run()
+        assert oltp.committed == 50
+        assert len(oltp.commit_latencies) == 50
+        assert oltp.transaction_rate() > 0
+        assert oltp.commit_latency_quantile(0.99) >= oltp.commit_latency_quantile(0.5)
+
+    def test_mirror_inflates_commit_latency(self, small_cloud):
+        """Synchronous mirroring sits on the OLTP commit path: the p50
+        commit latency under an active mirror migration phase is far above
+        the local baseline."""
+        from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+        from repro.simkernel import Environment
+        from tests.conftest import SMALL_SPEC
+
+        def run(approach, start_mirroring):
+            env = Environment()
+            cloud = CloudMiddleware(Cluster(env, ClusterSpec(**SMALL_SPEC)))
+            vm = deploy_small_vm(cloud, approach)
+            oltp = MixedOLTP(vm, transactions=60, think_time=0.0, seed=3,
+                             region_offset=64 * MB, region_size=128 * MB)
+
+            def proc():
+                if start_mirroring:
+                    yield from vm.manager.on_migration_request(
+                        cloud.cluster.node(1)
+                    )
+                oltp.start()
+                yield oltp.proc
+
+            env.process(proc())
+            env.run(until=120.0)
+            return oltp.commit_latency_quantile(0.5)
+
+        local = run("our-approach", False)
+        mirrored = run("mirror", True)
+        assert mirrored > 1.5 * local
+
+    def test_zero_transactions(self, small_cloud):
+        env, cloud = small_cloud
+        vm = deploy_small_vm(cloud, "our-approach")
+        oltp = MixedOLTP(vm, transactions=0,
+                         region_offset=64 * MB, region_size=128 * MB)
+        oltp.start()
+        env.run()
+        assert oltp.committed == 0
+        assert oltp.commit_latency_quantile(0.9) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the synthetic paced writers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import HotspotWriter, RandomWriter, SequentialWriter
+from tests.conftest import deploy_small_vm
+
+MB = 2**20
+
+
+def run_writer(small_cloud, cls, **kwargs):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    params = dict(
+        total_bytes=16 * MB, rate=4e6, op_size=2 * MB,
+        region_offset=0, region_size=32 * MB, seed=3,
+    )
+    params.update(kwargs)
+    wl = cls(vm, **params)
+    wl.start()
+    env.run()
+    return env, vm, wl
+
+
+def test_validation(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    with pytest.raises(ValueError):
+        SequentialWriter(vm, total_bytes=10, rate=0)
+    with pytest.raises(ValueError):
+        SequentialWriter(vm, total_bytes=10, rate=1, op_size=0)
+    with pytest.raises(ValueError):
+        HotspotWriter(vm, total_bytes=10, rate=1, zipf_a=1.0)
+
+
+def test_sequential_covers_region_in_order(small_cloud):
+    env, vm, wl = run_writer(small_cloud, SequentialWriter)
+    assert wl.bytes_written == 16 * MB
+    # First 16 MB = chunks 0..15 written exactly once.
+    assert (vm.content_clock[:16] == 1).all()
+    assert (vm.content_clock[16:] == 0).all()
+
+
+def test_sequential_wraps_region(small_cloud):
+    env, vm, wl = run_writer(
+        small_cloud, SequentialWriter, total_bytes=48 * MB, region_size=32 * MB
+    )
+    # 48 MB into a 32 MB region: first half written twice.
+    assert (vm.content_clock[:16] == 2).all()
+    assert (vm.content_clock[16:32] == 1).all()
+
+
+def test_paced_rate_is_respected(small_cloud):
+    env, vm, wl = run_writer(small_cloud, SequentialWriter)
+    # 16 MB at 4 MB/s -> at least 4 s minus the final op's gap (the pacer
+    # sleeps *between* ops).
+    assert wl.elapsed >= 16 * MB / 4e6 - (2 * MB / 4e6) - 1e-6
+
+
+def test_random_writer_stays_in_region(small_cloud):
+    env, vm, wl = run_writer(small_cloud, RandomWriter, region_size=8 * MB)
+    # 8 MB region at 1 MB chunks = chunks 0..7; nothing beyond is touched.
+    assert vm.content_clock[8:].sum() == 0
+    assert vm.content_clock[:8].sum() > 0
+
+
+def test_hotspot_writer_skews(small_cloud):
+    env, vm, wl = run_writer(
+        small_cloud, HotspotWriter, total_bytes=64 * MB, rate=64e6
+    )
+    counts = vm.content_clock[vm.content_clock > 0]
+    # Zipf: the hottest slot gets several times the median.
+    assert counts.max() >= 3 * np.median(counts)
+
+
+def test_determinism_same_seed(small_cloud):
+    from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+    from repro.simkernel import Environment
+    from tests.conftest import SMALL_SPEC
+
+    clocks = []
+    for _ in range(2):
+        env = Environment()
+        cloud = CloudMiddleware(Cluster(env, ClusterSpec(**SMALL_SPEC)))
+        vm = deploy_small_vm(cloud, "our-approach")
+        wl = RandomWriter(
+            vm, total_bytes=16 * MB, rate=8e6, op_size=2 * MB,
+            region_offset=0, region_size=32 * MB, seed=42,
+        )
+        wl.start()
+        env.run()
+        clocks.append(vm.content_clock.copy())
+    np.testing.assert_array_equal(clocks[0], clocks[1])
+
+
+def test_workload_cannot_start_twice(small_cloud):
+    env, cloud = small_cloud
+    vm = deploy_small_vm(cloud, "our-approach")
+    wl = SequentialWriter(vm, total_bytes=2 * MB, rate=1e6)
+    wl.start()
+    with pytest.raises(RuntimeError):
+        wl.start()
