@@ -21,6 +21,7 @@ from repro.hypervisor import (
     VMInstance,
 )
 from repro.metrics import MetricsCollector, MigrationRecord
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.simkernel import Environment
 
 __version__ = "1.0.0"
@@ -35,9 +36,12 @@ __all__ = [
     "Environment",
     "LiveMigration",
     "MetricsCollector",
+    "MetricsRegistry",
     "MigrationConfig",
     "MigrationRecord",
+    "Observability",
     "PostcopyMemory",
+    "Tracer",
     "PrecopyMemory",
     "VMInstance",
     "__version__",

@@ -27,6 +27,48 @@ from repro.experiments.scenarios import run_single_migration
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the run-something subcommands."""
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write an execution trace (.json = Chrome/Perfetto trace "
+             "format, .jsonl = one event per line)",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write per-run counters/gauges/histograms as JSON",
+    )
+    p.add_argument(
+        "--trace-detail", choices=["normal", "full"], default="normal",
+        help="'full' additionally records high-frequency events "
+             "(process resumes, control messages)",
+    )
+
+
+def _make_obs(args):
+    """An Observability bundle when any export flag was given, else None."""
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace is None and metrics_out is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        trace=trace is not None,
+        metrics=metrics_out is not None,
+        detail=args.trace_detail,
+    )
+
+
+def _write_obs(obs, args) -> None:
+    if obs is None:
+        return
+    obs.write(trace_path=args.trace, metrics_path=args.metrics_out)
+    for path in (args.trace, args.metrics_out):
+        if path:
+            print(f"wrote {path}", file=sys.stderr)
+
+
 def _parse_grid(text: str) -> tuple[int, int]:
     try:
         a, b = text.lower().split("x")
@@ -55,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig2 = sub.add_parser("fig2", help="run + render one migration's phase timeline")
     fig2.add_argument("--approach", choices=sorted(APPROACHES),
                       default="our-approach")
+    _add_obs_flags(fig2)
 
     for fig in ("fig3", "fig4", "fig5"):
         p = sub.add_parser(fig, help=f"regenerate {fig} of the paper")
@@ -63,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         if fig == "fig5":
             p.add_argument("--grid", type=_parse_grid, default=(4, 4),
                            help="CM1 rank grid, e.g. 8x8 (default 4x4)")
+        _add_obs_flags(p)
 
     single = sub.add_parser("single", help="one migration under one workload")
     single.add_argument("--approach", choices=sorted(APPROACHES),
@@ -71,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     single.add_argument("--warmup", type=float, default=10.0,
                         help="seconds before the migration request")
     single.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(single)
 
     compare = sub.add_parser(
         "compare", help="run all five approaches on one workload"
@@ -78,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workload", choices=["ior", "asyncwr"], default="ior")
     compare.add_argument("--warmup", type=float, default=10.0)
     compare.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(compare)
 
     return parser
 
@@ -91,9 +137,10 @@ def _outcome_row(outcome) -> list[float]:
     ]
 
 
-def _cmd_single(args) -> str:
+def _cmd_single(args, obs=None) -> str:
     outcome = run_single_migration(
-        args.approach, workload=args.workload, warmup=args.warmup, seed=args.seed
+        args.approach, workload=args.workload, warmup=args.warmup,
+        seed=args.seed, obs=obs,
     )
     return render_table(
         f"Single migration: {args.approach} under {args.workload}",
@@ -102,11 +149,12 @@ def _cmd_single(args) -> str:
     )
 
 
-def _cmd_compare(args) -> str:
+def _cmd_compare(args, obs=None) -> str:
     rows = {}
     for approach in APPROACHES:
         outcome = run_single_migration(
-            approach, workload=args.workload, warmup=args.warmup, seed=args.seed
+            approach, workload=args.workload, warmup=args.warmup,
+            seed=args.seed, obs=obs,
         )
         rows[approach] = _outcome_row(outcome)
     return render_table(
@@ -118,6 +166,7 @@ def _cmd_compare(args) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs = _make_obs(args)
     if args.command == "table1":
         from repro.experiments.table1 import render_table1
 
@@ -132,23 +181,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig2":
         from repro.experiments.fig2 import render_fig2
 
-        print(render_fig2(args.approach))
+        print(render_fig2(args.approach, obs=obs))
     elif args.command == "fig3":
         from repro.experiments.fig3 import render_fig3, run_fig3
 
-        print(render_fig3(run_fig3(quick=args.quick)))
+        print(render_fig3(run_fig3(quick=args.quick, obs=obs)))
     elif args.command == "fig4":
         from repro.experiments.fig4 import render_fig4, run_fig4
 
-        print(render_fig4(run_fig4(quick=args.quick)))
+        print(render_fig4(run_fig4(quick=args.quick, obs=obs)))
     elif args.command == "fig5":
         from repro.experiments.fig5 import render_fig5, run_fig5
 
-        print(render_fig5(run_fig5(quick=args.quick, grid=args.grid)))
+        print(render_fig5(run_fig5(quick=args.quick, grid=args.grid, obs=obs)))
     elif args.command == "single":
-        print(_cmd_single(args))
+        print(_cmd_single(args, obs=obs))
     elif args.command == "compare":
-        print(_cmd_compare(args))
+        print(_cmd_compare(args, obs=obs))
+    _write_obs(obs, args)
     return 0
 
 

@@ -137,6 +137,12 @@ class HybridManager(MigrationManager):
         self.chunks.reset_write_counts()
         self._count_writes = True
         self.remaining = self.chunks.modified.copy()
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("push.start", cat="storage",
+                       tid=f"push:{self.vm.name}",
+                       args={"remaining_chunks": int(self.remaining.sum()),
+                             "threshold": self.config.threshold})
         # MIGRATION_NOTIFICATION to the destination.
         yield self.fabric.message(self.host, peer.host, tag="control")
         if self.push_enabled:
@@ -178,6 +184,7 @@ class HybridManager(MigrationManager):
             # pipeline, so batch completion is governed by the slowest;
             # arriving data is cache-absorbed and written back lazily.
             wire, extra = self._wire_events(self, batch, versions, nbytes)
+            t0 = self.env.now
             yield self.env.all_of(
                 [
                     self.vdisk.load(batch),
@@ -194,6 +201,17 @@ class HybridManager(MigrationManager):
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
             self.stats["pushed_chunks"] += int(batch.size)
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.complete("push.batch", t0, self.env.now, cat="storage",
+                            tid=f"push:{self.vm.name}",
+                            args={"chunks": int(batch.size),
+                                  "wire_bytes": wire})
+            mx = self.env.metrics
+            if mx.enabled:
+                mx.counter("push.chunks").inc(int(batch.size))
+                mx.counter("push.batches").inc()
+                mx.counter("push.bytes.wire").inc(wire)
 
     def _notify_push(self) -> None:
         if self._push_wakeup is not None and not self._push_wakeup.triggered:
@@ -206,7 +224,15 @@ class HybridManager(MigrationManager):
         if self.is_source and self._count_writes:
             self.remaining[span] = True
             hot = self.chunks.write_count[span] >= self.config.threshold
-            self.stats["skipped_hot_chunks"] += int(hot.sum())
+            n_hot = int(hot.sum())
+            self.stats["skipped_hot_chunks"] += n_hot
+            if n_hot:
+                tr = self.env.tracer
+                if tr.enabled:
+                    tr.instant("push.hot_exclusion", cat="storage",
+                               tid=f"push:{self.vm.name}",
+                               args={"chunks": n_hot})
+                self.env.metrics.counter("push.hot_skipped").inc(n_hot)
             self._notify_push()
         if self.is_destination:
             self._cancel_pulls(span)
@@ -222,6 +248,10 @@ class HybridManager(MigrationManager):
         """Stop the push engine.  Writes may still be draining, so the
         remaining set is NOT snapshotted yet — ``_count_writes`` stays on
         and late writes keep re-queueing themselves (Algorithm 2)."""
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("push.stop", cat="storage", tid=f"push:{self.vm.name}",
+                       args={"remaining_chunks": int(self.remaining.sum())})
         self._push_stop = True
         self._notify_push()
         if self._push_proc is not None and self._push_proc.is_alive:
@@ -232,6 +262,11 @@ class HybridManager(MigrationManager):
         now-final remaining chunk list and write counts (Algorithm 3)."""
         self._count_writes = False
         remaining_ids = np.flatnonzero(self.remaining)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("transfer_io_control", cat="storage",
+                       tid=f"push:{self.vm.name}",
+                       args={"remaining_chunks": int(remaining_ids.size)})
         # The chunk list + write counts travel as a control message
         # (8 bytes of id + 8 of count per entry).
         yield self.fabric.message(
@@ -271,6 +306,16 @@ class HybridManager(MigrationManager):
         wc = np.zeros(self.chunks.n_chunks, dtype=np.int64)
         wc[chunk_ids] = write_counts
         self._pull_order_wc = wc
+        self._note_queue_depth(int(chunk_ids.size))
+
+    def _note_queue_depth(self, depth: int) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.counter(f"prefetch.queue_depth:{self.vm.name}",
+                       {"chunks": depth})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.gauge("prefetch.queue_depth").set(depth)
 
     def _start_pull(self) -> None:
         self._pull_proc = self.env.process(
@@ -307,8 +352,22 @@ class HybridManager(MigrationManager):
                     yield self.env.all_of(list(self._pull_inflight.values()))
                     continue
                 break
+            t0 = self.env.now
             yield from self._pull(batch, weight=1.0)
             self.stats["pulled_chunks"] += int(batch.size)
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.complete("prefetch.batch", t0, self.env.now, cat="storage",
+                            tid=f"pull:{self.vm.name}",
+                            args={"chunks": int(batch.size),
+                                  "max_write_count": int(
+                                      self._pull_order_wc[batch].max()
+                                  )})
+            mx = self.env.metrics
+            if mx.enabled:
+                mx.counter("pull.prefetch.chunks").inc(int(batch.size))
+                mx.counter("pull.prefetch.batches").inc()
+            self._note_queue_depth(int(self.pull_pending.sum()))
         yield from self._finish_migration()
 
     def _pull(self, batch: np.ndarray, weight: float) -> Generator:
@@ -348,6 +407,11 @@ class HybridManager(MigrationManager):
 
     def _cancel_pulls(self, span: np.ndarray) -> None:
         """Algorithm 2, destination part: a write kills the chunk's pull."""
+        mx = self.env.metrics
+        if mx.enabled:
+            killed = int(self.pull_pending[span].sum())
+            if killed:
+                mx.counter("pull.cancelled.chunks").inc(killed)
         self.pull_pending[span] = False
         self._pull_cancelled[span] = True
 
@@ -368,9 +432,22 @@ class HybridManager(MigrationManager):
         needed = span[self.pull_pending[span]]
         if needed.size:
             self._ondemand_depth += 1
+            t0 = self.env.now
             try:
                 yield from self._pull(needed, weight=self.config.ondemand_weight)
                 self.stats["ondemand_chunks"] += int(needed.size)
+                tr = self.env.tracer
+                if tr.enabled:
+                    # Overlapping guest reads overlap their pulls: async lane.
+                    tr.async_span("pull.demand", t0, self.env.now,
+                                  cat="storage", tid=f"pull:{self.vm.name}",
+                                  args={"chunks": int(needed.size)})
+                mx = self.env.metrics
+                if mx.enabled:
+                    mx.counter("pull.demand.chunks").inc(int(needed.size))
+                    mx.histogram("pull.demand.latency").observe(
+                        self.env.now - t0
+                    )
             finally:
                 self._ondemand_depth -= 1
                 if self._ondemand_depth == 0:
@@ -383,6 +460,10 @@ class HybridManager(MigrationManager):
         """All chunks local: notify the source it can be relinquished."""
         src = self.peer
         assert src is not None
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("pull.drained", cat="storage",
+                       tid=f"pull:{self.vm.name}")
         yield self.fabric.message(self.host, src.host, tag="control")
         if not src.release_event.triggered:
             src.release_event.succeed(self.env.now)

@@ -132,6 +132,9 @@ class MigrationManager:
             # Copy-on-reference: base-image chunks come from the repository
             # and land in the host page cache (write-back persists them to
             # the local disk asynchronously).
+            mx = self.env.metrics
+            if mx.enabled:
+                mx.counter("cor.fetch.chunks").inc(int(missing.size))
             yield self.repo.fetch(missing, self.host, tag="repo-fetch")
             self.chunks.record_fetch(missing)
             self.vdisk.disk.touch(missing)
@@ -258,6 +261,12 @@ class MigrationManager:
         chunk_ids = np.asarray(chunk_ids, dtype=np.intp)
         newer = versions > self.chunks.version[chunk_ids]
         take = chunk_ids[newer]
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("adopt.chunks").inc(int(take.size))
+            mx.counter("adopt.stale.chunks").inc(
+                int(chunk_ids.size - take.size)
+            )
         if take.size:
             self.chunks.adopt_versions(take, versions[newer])
             # Adopted content with a non-zero version diverges from the

@@ -60,6 +60,7 @@ class MirrorManager(MigrationManager):
             batch = ids[start : start + cfg.push_batch]
             versions = self.chunks.version[batch].copy()
             nbytes = float(batch.size * self.chunk_size)
+            t0 = self.env.now
             yield self.env.all_of(
                 [
                     self.vdisk.load(batch),
@@ -75,6 +76,14 @@ class MirrorManager(MigrationManager):
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
             self.stats["bulk_chunks"] += int(batch.size)
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.complete("mirror.bulk.batch", t0, self.env.now,
+                            cat="storage", tid=f"mirror:{self.vm.name}",
+                            args={"chunks": int(batch.size)})
+            mx = self.env.metrics
+            if mx.enabled:
+                mx.counter("mirror.bulk.chunks").inc(int(batch.size))
 
     def _after_write(self, span: np.ndarray, nbytes: int) -> Generator:
         """Mirror the write; the guest blocks until the destination ack."""
@@ -95,6 +104,10 @@ class MirrorManager(MigrationManager):
                 peer.receive_chunks(span, versions)
                 peer.vdisk.disk.touch(span)
                 self.stats["mirrored_writes"] += 1
+                mx = self.env.metrics
+                if mx.enabled:
+                    mx.counter("mirror.writes").inc()
+                    mx.counter("mirror.write.bytes").inc(float(nbytes))
         finally:
             self._outstanding -= 1
             if self._outstanding == 0 and self._drained is not None:

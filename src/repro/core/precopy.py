@@ -108,6 +108,7 @@ class PrecopyManager(MigrationManager):
             versions = self.chunks.version[batch].copy()
             peer = self.peer
             nbytes = float(batch.size * self.chunk_size)
+            t0 = self.env.now
             # The moved bytes pipeline through: source disk, the guest read
             # path (block reads), the guest write path (qcow2 buffer copies
             # with amplification), the fabric, the destination's write
@@ -133,6 +134,16 @@ class PrecopyManager(MigrationManager):
             self.stats["sent_chunks"] += int(batch.size)
             self.stats["resent_chunks"] += int(resent.sum())
             self._sent_once[batch] = True
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.complete("precopy.batch", t0, self.env.now, cat="storage",
+                            tid=f"blkmig:{self.vm.name}",
+                            args={"chunks": int(batch.size),
+                                  "resent": int(resent.sum())})
+            mx = self.env.metrics
+            if mx.enabled:
+                mx.counter("precopy.sent.chunks").inc(int(batch.size))
+                mx.counter("precopy.resent.chunks").inc(int(resent.sum()))
 
     def _notify_sync(self) -> None:
         if self._sync_wakeup is not None and not self._sync_wakeup.triggered:
@@ -184,6 +195,7 @@ class PrecopyManager(MigrationManager):
         ids = np.flatnonzero(self.dirty)
         if ids.size == 0:
             return
+        t0 = self.env.now
         self.dirty[ids] = False
         missing = self.chunks.missing_in(ids)
         if missing.size:
@@ -201,3 +213,11 @@ class PrecopyManager(MigrationManager):
         self.peer.receive_chunks(ids, versions)
         self.peer.vdisk.disk.touch(ids)
         self.stats["final_chunks"] += int(ids.size)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.complete("precopy.final_flush", t0, self.env.now,
+                        cat="storage", tid=f"blkmig:{self.vm.name}",
+                        args={"chunks": int(ids.size)})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("precopy.final.chunks").inc(int(ids.size))

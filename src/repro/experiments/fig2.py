@@ -21,35 +21,45 @@ __all__ = ["run_fig2", "render_fig2"]
 MB = 2**20
 
 
-def run_fig2(approach: str = "our-approach", seed: int = 0):
+def run_fig2(approach: str = "our-approach", seed: int = 0, obs=None):
     """One migration under steady write pressure; returns
     ``(record, stats, traffic_by_tag)``."""
-    env = Environment()
-    cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
-    vm = cloud.deploy("vm0", cloud.cluster.node(0), approach=approach,
-                      working_set=VM_WORKING_SET)
-    wl = SequentialWriter(
-        vm, total_bytes=2048 * MB, rate=60e6, op_size=4 * MB,
-        region_offset=1024 * MB, region_size=1024 * MB, seed=seed,
-    )
-    wl.start()
-    done = {}
+    from contextlib import nullcontext
 
-    def migrator():
-        yield env.timeout(5.0)
-        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+    scope = obs.run_scope(f"{approach}/fig2") if obs is not None else nullcontext()
+    with scope:
+        env = Environment()
+        if obs is not None:
+            obs.install(env)
+        cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
+        vm = cloud.deploy("vm0", cloud.cluster.node(0), approach=approach,
+                          working_set=VM_WORKING_SET)
+        wl = SequentialWriter(
+            vm, total_bytes=2048 * MB, rate=60e6, op_size=4 * MB,
+            region_offset=1024 * MB, region_size=1024 * MB, seed=seed,
+        )
+        wl.start()
+        done = {}
 
-    env.process(migrator())
-    env.run()
-    dst_stats = dict(getattr(vm.manager, "stats", {}))
-    src_stats = dict(getattr(vm.manager.peer, "stats", {})) if vm.manager.peer else {}
+        def migrator():
+            yield env.timeout(5.0)
+            done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+        env.process(migrator())
+        env.run()
+        dst_stats = dict(getattr(vm.manager, "stats", {}))
+        src_stats = (
+            dict(getattr(vm.manager.peer, "stats", {})) if vm.manager.peer else {}
+        )
+        if obs is not None:
+            obs.note_traffic(cloud.cluster.fabric.meter)
     return done["rec"], {"source": src_stats, "destination": dst_stats}, (
         cloud.cluster.fabric.meter.by_tag()
     )
 
 
-def render_fig2(approach: str = "our-approach", seed: int = 0) -> str:
-    record, stats, traffic = run_fig2(approach, seed)
+def render_fig2(approach: str = "our-approach", seed: int = 0, obs=None) -> str:
+    record, stats, traffic = run_fig2(approach, seed, obs=obs)
     lines = [
         "== Fig 2: Overview of the live storage transfer as it progresses "
         f"in time ({approach})",

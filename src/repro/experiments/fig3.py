@@ -38,6 +38,7 @@ def run_fig3(
     approaches: Optional[Iterable[str]] = None,
     quick: bool = False,
     seed: int = 0,
+    obs=None,
 ) -> dict[str, dict[str, ScenarioOutcome]]:
     """Run both benchmarks under every approach.
 
@@ -65,6 +66,7 @@ def run_fig3(
             warmup=ior_warmup,
             seed=seed,
             workload_kwargs=ior_kwargs,
+            obs=obs,
         )
         results["asyncwr"][approach] = run_single_migration(
             approach,
@@ -72,6 +74,7 @@ def run_fig3(
             warmup=asyncwr_warmup,
             seed=seed,
             workload_kwargs=asyncwr_kwargs,
+            obs=obs,
         )
     return results
 

@@ -34,6 +34,7 @@ def run_fig4(
     n_sources: int = 30,
     quick: bool = False,
     seed: int = 0,
+    obs=None,
 ) -> dict[str, dict[int, tuple[ScenarioOutcome, ScenarioOutcome]]]:
     """Sweep concurrency per approach.
 
@@ -64,6 +65,7 @@ def run_fig4(
                 migrate=False,
                 seed=seed,
                 workload_kwargs=workload_kwargs,
+                obs=obs,
             )
             outcome = run_concurrent_migrations(
                 approach,
@@ -72,6 +74,7 @@ def run_fig4(
                 warmup=warmup,
                 seed=seed,
                 workload_kwargs=workload_kwargs,
+                obs=obs,
             )
             per_level[n] = (outcome, baseline)
         results[approach] = per_level

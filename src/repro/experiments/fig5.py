@@ -31,6 +31,7 @@ def run_fig5(
     grid: tuple[int, int] = (4, 4),
     quick: bool = False,
     seed: int = 0,
+    obs=None,
 ) -> dict[str, dict[int, tuple[ScenarioOutcome, ScenarioOutcome]]]:
     """Sweep successive migration counts per approach.
 
@@ -54,6 +55,7 @@ def run_fig5(
             migrate=False,
             seed=seed,
             workload_kwargs=workload_kwargs,
+            obs=obs,
         )
         per_count: dict[int, tuple[ScenarioOutcome, ScenarioOutcome]] = {}
         for n in counts:
@@ -63,6 +65,7 @@ def run_fig5(
                 grid=grid,
                 seed=seed,
                 workload_kwargs=workload_kwargs,
+                obs=obs,
             )
             per_count[n] = (outcome, baseline)
         results[approach] = per_count

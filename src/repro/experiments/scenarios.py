@@ -17,7 +17,7 @@ degradation metrics have their reference, and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.cluster import CloudMiddleware, Cluster
 from repro.core.config import MigrationConfig
@@ -29,6 +29,7 @@ from repro.experiments.config import (
     graphene_spec,
 )
 from repro.hypervisor.memory import PrecopyMemory
+from repro.obs import Observability
 from repro.simkernel import Environment
 from repro.workloads.asyncwr import AsyncWRWorkload
 from repro.workloads.cm1 import build_cm1_ensemble
@@ -89,7 +90,8 @@ class ScenarioOutcome:
     def cumulated_migration_time(self) -> float:
         return sum(self.migration_times)
 
-    def total_traffic(self, exclude: tuple[str, ...] = ()) -> float:
+    def total_traffic(self, exclude: Iterable[str] = ()) -> float:
+        exclude = frozenset(exclude)
         return sum(v for k, v in self.traffic_by_tag.items() if k not in exclude)
 
     @property
@@ -99,8 +101,29 @@ class ScenarioOutcome:
         return self.total_traffic(exclude=("app",))
 
 
-def _make_cloud(n_nodes: int, config: Optional[MigrationConfig], **spec_overrides):
+class _NullRunScope:
+    """Stand-in for ``Observability.run_scope`` when no obs is attached."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _scope(obs: Optional[Observability], label: str):
+    return obs.run_scope(label) if obs is not None else _NullRunScope()
+
+
+def _make_cloud(
+    n_nodes: int,
+    config: Optional[MigrationConfig],
+    obs: Optional[Observability] = None,
+    **spec_overrides,
+):
     env = Environment()
+    if obs is not None:
+        obs.install(env)
     cluster = Cluster(env, graphene_spec(n_nodes, **spec_overrides))
     cloud = CloudMiddleware(cluster, config=config)
     return env, cloud
@@ -127,52 +150,60 @@ def run_single_migration(
     seed: int = 0,
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
+    obs: Optional[Observability] = None,
 ) -> ScenarioOutcome:
     """Section 5.3: one VM, one migration after ``warmup`` seconds.
 
     ``migrate=False`` produces the migration-free baseline run used for
-    normalization.
+    normalization.  ``obs`` attaches a tracing/metrics bundle; the run's
+    events land in a process lane named after the approach/workload.
     """
-    env, cloud = _make_cloud(n_nodes, config)
-    working_set = ASYNCWR_WORKING_SET if workload == "asyncwr" else VM_WORKING_SET
-    vm = cloud.deploy(
-        "vm0",
-        cloud.cluster.node(0),
-        approach=approach,
-        memory_size=VM_MEMORY,
-        working_set=working_set,
-    )
-    wl = _build_workload(workload, vm, seed, workload_kwargs or {})
-    wl.start()
-
-    if migrate:
-
-        def migrator():
-            yield env.timeout(warmup)
-            yield cloud.migrate(vm, cloud.cluster.node(1), memory=_memory_strategy())
-
-        env.process(migrator())
-
-    env.run()
-
-    outcome = ScenarioOutcome(approach=approach, workload=workload)
-    outcome.migration_times = cloud.collector.migration_times()
-    outcome.downtimes = [
-        r.downtime for r in cloud.collector.completed() if r.downtime is not None
-    ]
-    outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
-    outcome.read_throughput = wl.read_throughput()
-    outcome.write_throughput = wl.write_throughput()
-    records = cloud.collector.completed()
-    if records:
-        rec = records[0]
-        outcome.window_write_rate = wl.written_timeline.mean_rate(
-            rec.requested_at, rec.released_at
+    label = f"{approach}/{workload}" + ("" if migrate else "/baseline")
+    with _scope(obs, label):
+        env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        working_set = ASYNCWR_WORKING_SET if workload == "asyncwr" else VM_WORKING_SET
+        vm = cloud.deploy(
+            "vm0",
+            cloud.cluster.node(0),
+            approach=approach,
+            memory_size=VM_MEMORY,
+            working_set=working_set,
         )
-    else:
-        outcome.window_write_rate = wl.written_timeline.mean_rate()
-    outcome.workload_elapsed = wl.elapsed or 0.0
-    outcome.counters = getattr(wl, "counter", 0)
+        wl = _build_workload(workload, vm, seed, workload_kwargs or {})
+        wl.start()
+
+        if migrate:
+
+            def migrator():
+                yield env.timeout(warmup)
+                yield cloud.migrate(
+                    vm, cloud.cluster.node(1), memory=_memory_strategy()
+                )
+
+            env.process(migrator())
+
+        env.run()
+
+        outcome = ScenarioOutcome(approach=approach, workload=workload)
+        outcome.migration_times = cloud.collector.migration_times()
+        outcome.downtimes = [
+            r.downtime for r in cloud.collector.completed() if r.downtime is not None
+        ]
+        outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
+        outcome.read_throughput = wl.read_throughput()
+        outcome.write_throughput = wl.write_throughput()
+        records = cloud.collector.completed()
+        if records:
+            rec = records[0]
+            outcome.window_write_rate = wl.written_timeline.mean_rate(
+                rec.requested_at, rec.released_at
+            )
+        else:
+            outcome.window_write_rate = wl.written_timeline.mean_rate()
+        outcome.workload_elapsed = wl.elapsed or 0.0
+        outcome.counters = getattr(wl, "counter", 0)
+        if obs is not None:
+            obs.note_traffic(cloud.cluster.fabric.meter)
     return outcome
 
 
@@ -185,54 +216,60 @@ def run_concurrent_migrations(
     seed: int = 0,
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
+    obs: Optional[Observability] = None,
 ) -> ScenarioOutcome:
     """Section 5.4: AsyncWR on every source; the first ``n_migrations`` VMs
     migrate simultaneously after the warm-up."""
     if n_migrations > n_sources:
         raise ValueError("cannot migrate more VMs than sources")
     n_nodes = n_sources + max(n_migrations, 1)
-    env, cloud = _make_cloud(n_nodes, config)
-    vms = []
-    workloads = []
-    for i in range(n_sources):
-        vm = cloud.deploy(
-            f"vm{i}",
-            cloud.cluster.node(i),
-            approach=approach,
-            memory_size=VM_MEMORY,
-            working_set=ASYNCWR_WORKING_SET,
-        )
-        wl = AsyncWRWorkload(vm, seed=seed + i, **(workload_kwargs or {}))
-        wl.start()
-        vms.append(vm)
-        workloads.append(wl)
-
-    if migrate:
-
-        def migrator(i):
-            yield env.timeout(warmup)
-            yield cloud.migrate(
-                vms[i], cloud.cluster.node(n_sources + i), memory=_memory_strategy()
+    label = f"{approach}/asyncwr-x{n_migrations}" + ("" if migrate else "/baseline")
+    with _scope(obs, label):
+        env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        vms = []
+        workloads = []
+        for i in range(n_sources):
+            vm = cloud.deploy(
+                f"vm{i}",
+                cloud.cluster.node(i),
+                approach=approach,
+                memory_size=VM_MEMORY,
+                working_set=ASYNCWR_WORKING_SET,
             )
+            wl = AsyncWRWorkload(vm, seed=seed + i, **(workload_kwargs or {}))
+            wl.start()
+            vms.append(vm)
+            workloads.append(wl)
 
-        for i in range(n_migrations):
-            env.process(migrator(i))
+        if migrate:
 
-    env.run()
+            def migrator(i):
+                yield env.timeout(warmup)
+                yield cloud.migrate(
+                    vms[i], cloud.cluster.node(n_sources + i),
+                    memory=_memory_strategy()
+                )
 
-    outcome = ScenarioOutcome(approach=approach, workload="asyncwr")
-    outcome.migration_times = cloud.collector.migration_times()
-    outcome.downtimes = [
-        r.downtime for r in cloud.collector.completed() if r.downtime is not None
-    ]
-    outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
-    elapsed = [wl.elapsed or 0.0 for wl in workloads]
-    outcome.workload_elapsed = max(elapsed)
-    outcome.elapsed_each = elapsed
-    outcome.counters = sum(wl.counter for wl in workloads)
-    outcome.write_throughput = (
-        sum(wl.write_throughput() for wl in workloads) / n_sources
-    )
+            for i in range(n_migrations):
+                env.process(migrator(i))
+
+        env.run()
+
+        outcome = ScenarioOutcome(approach=approach, workload="asyncwr")
+        outcome.migration_times = cloud.collector.migration_times()
+        outcome.downtimes = [
+            r.downtime for r in cloud.collector.completed() if r.downtime is not None
+        ]
+        outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
+        elapsed = [wl.elapsed or 0.0 for wl in workloads]
+        outcome.workload_elapsed = max(elapsed)
+        outcome.elapsed_each = elapsed
+        outcome.counters = sum(wl.counter for wl in workloads)
+        outcome.write_throughput = (
+            sum(wl.write_throughput() for wl in workloads) / n_sources
+        )
+        if obs is not None:
+            obs.note_traffic(cloud.cluster.fabric.meter)
     return outcome
 
 
@@ -246,6 +283,7 @@ def run_cm1_successive(
     seed: int = 0,
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
+    obs: Optional[Observability] = None,
 ) -> ScenarioOutcome:
     """Section 5.5: a CM1 ensemble; rank *i* migrates at
     ``first_at + i * interval`` (i < n_migrations).
@@ -257,43 +295,48 @@ def run_cm1_successive(
     if n_migrations > n_ranks:
         raise ValueError("cannot migrate more ranks than exist")
     n_nodes = n_ranks + max(n_migrations, 1)
-    env, cloud = _make_cloud(n_nodes, config)
-    vms = []
-    for i in range(n_ranks):
-        vm = cloud.deploy(
-            f"rank{i}",
-            cloud.cluster.node(i),
-            approach=approach,
-            memory_size=VM_MEMORY,
-            working_set=CM1_WORKING_SET,
-        )
-        vms.append(vm)
-    workloads = build_cm1_ensemble(
-        env, vms, cloud.cluster.fabric, grid, **(workload_kwargs or {})
-    )
-    for wl in workloads:
-        wl.start()
-
-    if migrate:
-
-        def migrator(i):
-            yield env.timeout(first_at + i * interval)
-            yield cloud.migrate(
-                vms[i], cloud.cluster.node(n_ranks + i), memory=_memory_strategy()
+    label = f"{approach}/cm1-x{n_migrations}" + ("" if migrate else "/baseline")
+    with _scope(obs, label):
+        env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        vms = []
+        for i in range(n_ranks):
+            vm = cloud.deploy(
+                f"rank{i}",
+                cloud.cluster.node(i),
+                approach=approach,
+                memory_size=VM_MEMORY,
+                working_set=CM1_WORKING_SET,
             )
+            vms.append(vm)
+        workloads = build_cm1_ensemble(
+            env, vms, cloud.cluster.fabric, grid, **(workload_kwargs or {})
+        )
+        for wl in workloads:
+            wl.start()
 
-        for i in range(n_migrations):
-            env.process(migrator(i))
+        if migrate:
 
-    env.run()
+            def migrator(i):
+                yield env.timeout(first_at + i * interval)
+                yield cloud.migrate(
+                    vms[i], cloud.cluster.node(n_ranks + i),
+                    memory=_memory_strategy()
+                )
 
-    outcome = ScenarioOutcome(approach=approach, workload="cm1")
-    outcome.migration_times = cloud.collector.migration_times()
-    outcome.downtimes = [
-        r.downtime for r in cloud.collector.completed() if r.downtime is not None
-    ]
-    outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
-    start = min(wl.started_at for wl in workloads)
-    end = max(wl.finished_at for wl in workloads)
-    outcome.workload_elapsed = end - start
+            for i in range(n_migrations):
+                env.process(migrator(i))
+
+        env.run()
+
+        outcome = ScenarioOutcome(approach=approach, workload="cm1")
+        outcome.migration_times = cloud.collector.migration_times()
+        outcome.downtimes = [
+            r.downtime for r in cloud.collector.completed() if r.downtime is not None
+        ]
+        outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
+        start = min(wl.started_at for wl in workloads)
+        end = max(wl.finished_at for wl in workloads)
+        outcome.workload_elapsed = end - start
+        if obs is not None:
+            obs.note_traffic(cloud.cluster.fabric.meter)
     return outcome

@@ -93,6 +93,7 @@ class LiveMigration:
             record.aborted = True
             record.memory_rounds = stats.rounds
             record.memory_bytes = stats.bytes_sent
+            self._trace_record(record, stats)
             return record
 
         # Stop-and-copy downtime: quiesce in-flight guest I/O (QEMU's
@@ -127,4 +128,31 @@ class LiveMigration:
         record.memory_bytes = stats.bytes_sent
         if record.released_at > record.control_at:
             record.add_phase("pull / post-control", record.control_at, env.now)
+        self._trace_record(record, stats)
         return record
+
+    def _trace_record(self, record: MigrationRecord, stats: MemoryStats) -> None:
+        """Mirror the finished record into the tracer/metrics registry."""
+        env = self.env
+        tr = env.tracer
+        if tr.enabled:
+            tid = f"migration:{record.vm}"
+            for name, start, end in record.phases:
+                tr.complete(name, start, end, cat="migration", tid=tid)
+            if record.aborted:
+                tr.instant("migration.aborted", cat="migration", tid=tid)
+            elif record.control_at is not None:
+                tr.instant("control-transfer", cat="migration", tid=tid,
+                           args={"downtime": record.downtime})
+        mx = env.metrics
+        if mx.enabled:
+            if record.aborted:
+                mx.counter("migration.aborted").inc()
+                return
+            mx.counter("migration.completed").inc()
+            mx.counter("migration.memory.rounds").inc(stats.rounds)
+            mx.counter("migration.memory.bytes").inc(stats.bytes_sent)
+            if record.downtime is not None:
+                mx.histogram("migration.downtime").observe(record.downtime)
+            if record.migration_time is not None:
+                mx.histogram("migration.time").observe(record.migration_time)

@@ -107,6 +107,11 @@ class PrecopyMemory:
             wire = remaining if stats.rounds == 1 else remaining / self.delta_ratio
             t0 = env.now
             yield fabric.transfer(src, dst, wire, tag="memory")
+            tr = env.tracer
+            if tr.enabled:
+                tr.complete("memory.round", t0, env.now, cat="memory",
+                            tid=f"migration:{vm.name}",
+                            args={"round": stats.rounds, "bytes": wire})
             dur = env.now - t0
             stats.bytes_sent += wire
             stats.round_durations.append(dur)
@@ -244,5 +249,10 @@ class PostcopyMemory:
         if nbytes > 0:
             t0 = env.now
             yield fabric.transfer(src, dst, nbytes, tag="memory")
+            tr = env.tracer
+            if tr.enabled:
+                tr.complete("memory.postcopy", t0, env.now, cat="memory",
+                            tid=f"migration:{vm.name}",
+                            args={"bytes": nbytes})
             stats.round_durations.append(env.now - t0)
             stats.bytes_sent += nbytes

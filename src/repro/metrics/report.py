@@ -35,7 +35,14 @@ def render_migration_timeline(record: MigrationRecord, width: int = 60) -> str:
     for name, start, end in record.phases:
         a = int(round((start - t0) / span * width))
         b = int(round((end - t0) / span * width))
-        b = max(b, a + 1)  # visible sliver for sub-pixel phases
+        # Clamp into [0, width]: a phase recorded slightly outside
+        # [requested_at, released_at] (e.g. a post-release pull tail) must
+        # not produce negative padding or overflow the axis.
+        a = max(0, min(a, width))
+        b = max(0, min(b, width))
+        if b <= a:  # visible sliver for sub-pixel phases
+            a = min(a, width - 1)
+            b = a + 1
         bar = " " * a + "#" * (b - a)
         lines.append(
             f"{name.ljust(label_w)}|{bar.ljust(width)}| "

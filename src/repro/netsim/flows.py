@@ -173,6 +173,14 @@ class Fabric:
             ev.succeed(0.0)
             return ev
         self.meter.add(tag, nbytes)
+        tr = self.env.tracer
+        if tr.enabled and tr.verbose:
+            tr.instant(f"message:{tag}", cat="net", tid="net:control",
+                       args={"src": src.name, "dst": dst.name,
+                             "bytes": nbytes})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter(f"net.messages.{tag}").inc()
         wire = nbytes / min(src.nic_out, dst.nic_in)
         return self.env.timeout(self.latency + wire)
 
@@ -197,15 +205,39 @@ class Fabric:
             if fl.remaining <= _DONE_EPS:
                 fl.remaining = 0.0
                 finished.append(fl)
+        tr = self.env.tracer
+        mx = self.env.metrics
         for fl in finished:
             self._flows.remove(fl)
             # Credit any residual rounding so accounting is exact.
             if fl._accounted < fl.nbytes:
                 self.meter.add(fl.tag, fl.nbytes - fl._accounted)
                 fl._accounted = fl.nbytes
+            if tr.enabled:
+                tr.async_span(
+                    f"flow:{fl.tag}", fl.started_at, self.env.now,
+                    cat="net", tid=f"net:{fl.tag}",
+                    args={"src": fl.src.name, "dst": fl.dst.name,
+                          "bytes": fl.nbytes},
+                )
+            if mx.enabled:
+                mx.counter(f"net.flows.{fl.tag}").inc()
+                mx.histogram("net.flow.duration").observe(
+                    self.env.now - fl.started_at
+                )
             fl.done.succeed(self.env.now - fl.started_at)
 
     def _recompute(self) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            # Every reshare samples the concurrency level: a counter track
+            # Perfetto graphs directly (traffic burstiness, Section 5.4).
+            tr.counter("fabric.active_flows",
+                       {"flows": len(self._flows)})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.gauge("net.active_flows").set(len(self._flows))
+            mx.counter("net.reshares").inc()
         if not self._flows:
             return
         srcs = np.fromiter((fl.src.index for fl in self._flows), dtype=np.intp)

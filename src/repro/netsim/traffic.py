@@ -10,6 +10,7 @@ traffic generated during the experiments".
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Iterable
 
 __all__ = ["TrafficMeter", "TrafficSampler"]
 
@@ -29,8 +30,13 @@ class TrafficMeter:
         """Bytes moved under exactly ``tag``."""
         return self._bytes.get(tag, 0.0)
 
-    def total(self, *, exclude: tuple[str, ...] = ()) -> float:
-        """Total bytes over all tags, optionally excluding some."""
+    def total(self, *, exclude: Iterable[str] = ()) -> float:
+        """Total bytes over all tags, optionally excluding some.
+
+        ``exclude`` accepts any iterable of tags (tuple, list, set, ...);
+        it is normalised to a set internally.
+        """
+        exclude = frozenset(exclude)
         return sum(v for k, v in self._bytes.items() if k not in exclude)
 
     def by_tag(self) -> dict[str, float]:

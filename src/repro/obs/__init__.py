@@ -1,0 +1,166 @@
+"""``repro.obs`` — structured tracing + metrics across the simulation stack.
+
+The simulator's layers (kernel, fabric, storage managers, hypervisor,
+repositories) are instrumented against two interfaces installed on every
+:class:`~repro.simkernel.core.Environment`:
+
+* ``env.tracer`` — typed span/instant/counter events stamped with
+  simulation time (:mod:`repro.obs.tracer`);
+* ``env.metrics`` — named counters/gauges/histograms
+  (:mod:`repro.obs.registry`).
+
+Both default to null implementations, so an uninstrumented run pays
+nothing.  :class:`Observability` bundles live instances, installs them
+into environments, scopes multi-run sweeps into separate trace process
+lanes and per-run metric snapshots, and writes the exports
+(:mod:`repro.obs.export`)::
+
+    obs = Observability(detail="normal")
+    outcome = run_single_migration("our-approach", obs=obs)
+    obs.write(trace_path="trace.json", metrics_path="metrics.json")
+
+See ``examples/trace_a_migration.py`` for the full walkthrough and
+``docs/architecture.md`` ("Observability") for the event taxonomy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Union
+
+from repro.obs.export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_json,
+    write_trace,
+)
+from repro.obs.registry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_trace",
+]
+
+
+class _RunScope:
+    """Context manager: one experiment run inside an Observability."""
+
+    __slots__ = ("_obs", "_label", "_pid_scope")
+
+    def __init__(self, obs: "Observability", label: str):
+        self._obs = obs
+        self._label = label
+        self._pid_scope = None
+
+    def __enter__(self) -> "_RunScope":
+        self._pid_scope = self._obs.tracer.scope(self._label)
+        self._pid_scope.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._pid_scope.__exit__(*exc)
+        if self._obs.metrics.enabled:
+            self._obs.runs[self._label] = self._obs.metrics.snapshot()
+            self._obs.metrics.reset()
+        return False
+
+
+class Observability:
+    """A live tracer + metrics registry and their lifecycle plumbing.
+
+    Parameters
+    ----------
+    trace:
+        Record trace events (a real :class:`Tracer`); otherwise the null
+        tracer is installed and only metrics are live.
+    metrics:
+        Record aggregate metrics; otherwise the null registry is used.
+    detail:
+        Tracer detail level (``"normal"`` or ``"full"``, see
+        :class:`Tracer`).
+    """
+
+    def __init__(self, trace: bool = True, metrics: bool = True,
+                 detail: str = "normal"):
+        self.tracer = Tracer(detail=detail) if trace else NULL_TRACER
+        self.metrics: MetricsRegistry | NullMetricsRegistry = (
+            MetricsRegistry() if metrics else NULL_METRICS
+        )
+        #: Finished per-run metric snapshots, keyed by run label.
+        self.runs: dict[str, dict] = {}
+
+    # -- wiring ------------------------------------------------------------
+    def install(self, env) -> "Observability":
+        """Install tracer + registry onto ``env`` (rebinds the clock)."""
+        env.tracer = self.tracer
+        env.metrics = self.metrics
+        self.tracer.bind(env)
+        return self
+
+    def run_scope(self, label: str) -> _RunScope:
+        """Scope one experiment run.
+
+        Trace events inside land in a process lane named ``label``; on exit
+        the live metric instruments are snapshotted into :attr:`runs` under
+        the same label and reset for the next run.  Labels are made unique
+        (``#2``, ``#3`` ...) when a sweep repeats one.
+        """
+        unique = label
+        k = 2
+        while unique in self.runs:
+            unique = f"{label}#{k}"
+            k += 1
+        return _RunScope(self, unique)
+
+    def note_traffic(self, meter) -> None:
+        """Fold a TrafficMeter's per-tag totals into ``net.bytes.*``."""
+        if not self.metrics.enabled:
+            return
+        for tag, nbytes in meter.by_tag().items():
+            self.metrics.counter(f"net.bytes.{tag}").inc(nbytes)
+
+    # -- output ------------------------------------------------------------
+    def metrics_dump(self) -> dict:
+        """All finished runs plus any still-live instruments."""
+        dump: dict = {"runs": dict(self.runs)}
+        if self.metrics.enabled:
+            live = self.metrics.snapshot()
+            if any(live.get(kind) for kind in
+                   ("counters", "gauges", "histograms")):
+                dump["live"] = live
+        return dump
+
+    def write(self,
+              trace_path: Optional[Union[str, pathlib.Path]] = None,
+              metrics_path: Optional[Union[str, pathlib.Path]] = None) -> None:
+        """Write the requested exports (trace format by file suffix)."""
+        if trace_path is not None and self.tracer.enabled:
+            write_trace(self.tracer, trace_path)
+        if metrics_path is not None:
+            write_metrics_json(self.metrics_dump(), metrics_path)
+
+    def __repr__(self) -> str:
+        n = len(self.tracer.events) if self.tracer.enabled else 0
+        return f"<Observability events={n} runs={len(self.runs)}>"

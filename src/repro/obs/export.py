@@ -1,0 +1,103 @@
+"""Exporters: Chrome trace-event JSON, JSONL event stream, metrics dump.
+
+The Chrome trace-event output loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``; the JSONL stream is for
+ad-hoc ``jq``/pandas processing; the metrics dump is the per-run snapshot
+of the :class:`~repro.obs.registry.MetricsRegistry`.
+
+All serialization uses sorted keys and fixed separators, so two identical
+simulation runs produce byte-identical files — the property the
+determinism regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+    "write_trace",
+]
+
+_PathLike = Union[str, pathlib.Path]
+
+
+def _dumps(data: object) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def chrome_trace(tracer: Tracer, process_prefix: str = "repro") -> dict:
+    """The tracer's events as a Chrome trace-event JSON object.
+
+    Metadata events name every process/thread lane after its label, so
+    Perfetto shows ``repro:our-approach/ior`` and ``push:vm0`` instead of
+    bare integers.
+    """
+    meta: list[dict] = []
+    for label, pid in sorted(tracer.pid_labels().items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{process_prefix}:{label}"},
+        })
+    for label, tid in sorted(tracer.tid_labels().items(), key=lambda kv: kv[1]):
+        for pid in sorted(tracer.pid_labels().values()):
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            })
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": meta + tracer.events,
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: _PathLike) -> pathlib.Path:
+    """Write the Chrome/Perfetto trace JSON to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_dumps(chrome_trace(tracer)) + "\n")
+    return path
+
+
+def write_events_jsonl(tracer: Tracer, path: _PathLike) -> pathlib.Path:
+    """Write one event per line (raw stream, no metadata records)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for ev in tracer.events:
+            fh.write(_dumps(ev))
+            fh.write("\n")
+    return path
+
+
+def write_trace(tracer: Tracer, path: _PathLike) -> pathlib.Path:
+    """Write ``path`` in the format its suffix implies.
+
+    ``.jsonl`` selects the line-delimited event stream; anything else gets
+    the Chrome trace-event JSON.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        return write_events_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
+def write_metrics_json(dump: dict, path: _PathLike) -> pathlib.Path:
+    """Write a metrics dump (see ``Observability.metrics_dump``)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dump, sort_keys=True, indent=2) + "\n")
+    return path

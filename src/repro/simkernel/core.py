@@ -14,6 +14,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.registry import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = [
     "Environment",
     "Event",
@@ -148,6 +151,11 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        self.started_at = env.now
+        tr = env.tracer
+        if tr.enabled:
+            tr.instant("process.start", cat="kernel",
+                       tid=f"proc:{self.name}")
         # Bootstrap: resume the generator at the current time.
         init = Event(env)
         init.callbacks.append(self._resume)
@@ -186,12 +194,22 @@ class Process(Event):
         event.callbacks.append(self._resume)
         self.env._schedule(event, URGENT)
 
+    def _trace_finish(self, outcome: str) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.complete(f"proc:{self.name}", self.started_at, self.env.now,
+                        cat="kernel", tid=f"proc:{self.name}",
+                        args={"outcome": outcome})
+
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         if not self.is_alive:
             # A stale wakeup (e.g. the process was interrupted and finished
             # before its old target fired).  Nothing to do.
             return
+        tr = self.env.tracer
+        if tr.enabled and tr.verbose:
+            tr.instant("process.resume", cat="kernel", tid=f"proc:{self.name}")
         self.env._active = self
         gen = self._generator
         while True:
@@ -212,10 +230,12 @@ class Process(Event):
             except StopIteration as exc:
                 self.env._active = None
                 self.succeed(exc.value)
+                self._trace_finish("ok")
                 return
             except BaseException as exc:
                 self.env._active = None
                 self.fail(exc)
+                self._trace_finish("failed")
                 return
 
             if not isinstance(next_ev, Event):
@@ -253,6 +273,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        #: Observability hooks; null implementations by default (zero
+        #: overhead), replaced by ``repro.obs.Observability.install``.
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
 
     @property
     def now(self) -> float:

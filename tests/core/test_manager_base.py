@@ -1,6 +1,5 @@
 """Tests for the base MigrationManager guest I/O path (no migration)."""
 
-import numpy as np
 import pytest
 
 from tests.conftest import deploy_small_vm

@@ -4,7 +4,6 @@ wrote, the migration terminates, and traffic accounting is conservative.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

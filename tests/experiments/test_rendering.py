@@ -1,7 +1,5 @@
 """Tests for result containers, rendering helpers, table1 and config."""
 
-import pytest
-
 from repro.experiments.runner import SeriesResult, render_series, render_table
 from repro.experiments.table1 import render_table1, run_table1
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.stats import Summary, replicate, summarize
+from repro.experiments.stats import replicate, summarize
 
 
 def test_summarize_empty_rejected():

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hypervisor.control import LiveMigration
 from repro.hypervisor.memory import PostcopyMemory
 from tests.conftest import deploy_small_vm
 

@@ -45,3 +45,31 @@ def test_average_and_max_downtime():
 
 def test_max_downtime_empty():
     assert MetricsCollector().max_downtime() == 0.0
+
+
+def test_aborted_migrations_excluded_from_times():
+    c = MetricsCollector()
+    ok = c.migration_requested("vm0", "a", "b", 0.0)
+    ok.released_at = 5.0
+    aborted = c.migration_requested("vm1", "a", "c", 1.0)
+    aborted.aborted = True  # cancelled before control: never released
+    assert c.completed() == [ok]
+    assert c.migration_times() == [5.0]
+    assert c.average_migration_time() == pytest.approx(5.0)
+    assert aborted.migration_time is None
+
+
+def test_max_downtime_ignores_missing_downtimes():
+    c = MetricsCollector()
+    r = c.migration_requested("vm0", "a", "b", 0.0)
+    r.released_at = 5.0  # completed, but downtime never measured
+    assert c.max_downtime() == 0.0
+
+
+def test_add_phase_rejects_end_before_start():
+    c = MetricsCollector()
+    r = c.migration_requested("vm0", "a", "b", 0.0)
+    r.add_phase("ok", 1.0, 1.0)  # zero-length is allowed
+    with pytest.raises(ValueError, match="ends before it starts"):
+        r.add_phase("bad", 2.0, 1.5)
+    assert r.phases == [("ok", 1.0, 1.0)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import MetricsCollector, MigrationRecord
+from repro.metrics.collector import MigrationRecord
 from repro.metrics.report import render_migration_timeline
 from tests.conftest import deploy_small_vm
 
@@ -45,6 +45,28 @@ def test_render_gantt_shape():
     assert widths[2] == max(widths)
     # Sub-pixel downtime still renders a visible sliver.
     assert widths[1] >= 1
+
+
+def test_render_clamps_out_of_window_phases():
+    """Phases recorded outside [requested_at, released_at] (e.g. a pull
+    tail finishing after release) must stay inside the axis box."""
+    rec = MigrationRecord("vm0", "node0", "node1", requested_at=10.0)
+    rec.control_at = 12.0
+    rec.downtime = 0.05
+    rec.released_at = 20.0
+    rec.add_phase("early", 8.0, 11.0)      # starts before the window
+    rec.add_phase("late tail", 19.0, 25.0)  # ends after the window
+    rec.add_phase("fully outside", 30.0, 31.0)
+    width = 40
+    text = render_migration_timeline(rec, width=width)
+    bars = [ln for ln in text.splitlines() if "#" in ln]
+    assert len(bars) == 3
+    for ln in bars:
+        body = ln.split("|")[1]
+        assert len(body) == width  # nothing overflows the axis
+        assert body.strip("# ") == ""  # bar chars only, no negative padding
+    # A phase clamped to zero extent still renders a sliver.
+    assert bars[2].count("#") >= 1
 
 
 def test_live_migration_records_phases(small_cloud):

@@ -17,6 +17,16 @@ class TestMeter:
         assert m.total() == 160
         assert m.total(exclude=("a",)) == 10
 
+    def test_total_exclude_accepts_any_iterable(self):
+        m = TrafficMeter()
+        m.add("a", 100)
+        m.add("b", 10)
+        m.add("c", 1)
+        assert m.total(exclude=["a", "b"]) == 1
+        assert m.total(exclude={"a", "b"}) == 1
+        assert m.total(exclude=iter(("a", "b"))) == 1
+        assert m.total(exclude=(t for t in ("a", "b"))) == 1
+
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             TrafficMeter().add("a", -1)
@@ -78,6 +88,18 @@ class TestSampler:
         fabric.transfer(topo["a"], topo["b"], 10000.0, tag="x")
         env.run(until=50.0)
         assert sampler.timelines["x"].times[-1] <= 5.0 + 1.0
+
+    def test_horizon_none_samples_forever(self):
+        """horizon=None keeps sampling as long as the run is bounded."""
+        env, topo, fabric, sampler = self.make(horizon=None)
+        fabric.transfer(topo["a"], topo["b"], 1000.0, tag="x")
+        env.run(until=30.0)
+        times = sampler.timelines["x"].times
+        # Still sampling well past any default horizon ...
+        assert times[-1] >= 29.0
+        # ... one sample per interval tick in (0, 30].
+        assert len(times) == 30
+        assert sampler.rate("x", 1.0, 9.0) == pytest.approx(100.0, rel=0.05)
 
     def test_burstiness_contrast(self):
         """The Section 5.4 argument in miniature: the same byte volume,

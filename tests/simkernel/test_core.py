@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simkernel import Environment, Event, Interrupt, StopSimulation
+from repro.simkernel import Environment, Interrupt, StopSimulation
 
 
 def test_clock_starts_at_zero():

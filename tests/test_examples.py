@@ -5,8 +5,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 
@@ -65,6 +63,14 @@ def test_proactive_fault_tolerance():
     assert "PREDICTED FAILURE" in out
     assert "UNEXPECTED FAILURE" in out
     assert "restored on node5" in out
+
+
+def test_trace_a_migration():
+    out = run_example("trace_a_migration.py")
+    assert "migration traced" in out
+    assert "trace events recorded" in out
+    assert "push.chunks" in out
+    assert "load it in Perfetto" in out
 
 
 def test_mapreduce_scratch_study():

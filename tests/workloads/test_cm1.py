@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simkernel import Environment
-from repro.workloads.cm1 import Barrier, CM1Workload, build_cm1_ensemble
+from repro.workloads.cm1 import Barrier, build_cm1_ensemble
 from tests.conftest import SMALL_SPEC
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.simkernel import Environment
-from repro.workloads.mapreduce import MapReduceWorker, build_mapreduce_ensemble
+from repro.workloads.mapreduce import build_mapreduce_ensemble
 from tests.conftest import SMALL_SPEC
 
 MB = 2**20
