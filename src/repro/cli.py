@@ -45,6 +45,28 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    """Fault-injection flags for the migration-running subcommands."""
+    p.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject faults from a FaultPlan JSON file (schedule + "
+             "timeout/retry knobs; see repro.faults.FaultPlan)",
+    )
+    p.add_argument(
+        "--restarts", type=int, default=0,
+        help="re-issue an aborted migration up to N extra times",
+    )
+
+
+def _load_faults(args):
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.from_file(path)
+
+
 def _make_obs(args):
     """An Observability bundle when any export flag was given, else None."""
     trace = getattr(args, "trace", None)
@@ -116,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds before the migration request")
     single.add_argument("--seed", type=int, default=0)
     _add_obs_flags(single)
+    _add_fault_flags(single)
 
     compare = sub.add_parser(
         "compare", help="run all five approaches on one workload"
@@ -124,13 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--warmup", type=float, default=10.0)
     compare.add_argument("--seed", type=int, default=0)
     _add_obs_flags(compare)
+    _add_fault_flags(compare)
 
     return parser
 
 
 def _outcome_row(outcome) -> list[float]:
+    # Under fault injection a migration may abort (or still be in flight
+    # at the plan horizon): report NaN for the migration time then.
+    if len(outcome.migration_times) == 1:
+        mig_time = outcome.migration_times[0]
+    else:
+        mig_time = float("nan")
     return [
-        outcome.migration_time,
+        mig_time,
         outcome.total_traffic() / 2**20,
         100 * outcome.read_throughput / IOR_MAX_READ,
         100 * outcome.write_throughput / IOR_MAX_WRITE,
@@ -140,7 +170,8 @@ def _outcome_row(outcome) -> list[float]:
 def _cmd_single(args, obs=None) -> str:
     outcome = run_single_migration(
         args.approach, workload=args.workload, warmup=args.warmup,
-        seed=args.seed, obs=obs,
+        seed=args.seed, obs=obs, faults=_load_faults(args),
+        restarts=args.restarts,
     )
     return render_table(
         f"Single migration: {args.approach} under {args.workload}",
@@ -151,10 +182,12 @@ def _cmd_single(args, obs=None) -> str:
 
 def _cmd_compare(args, obs=None) -> str:
     rows = {}
+    faults = _load_faults(args)
     for approach in APPROACHES:
         outcome = run_single_migration(
             approach, workload=args.workload, warmup=args.warmup,
-            seed=args.seed, obs=obs,
+            seed=args.seed, obs=obs, faults=faults,
+            restarts=args.restarts,
         )
         rows[approach] = _outcome_row(outcome)
     return render_table(

@@ -215,15 +215,53 @@ class CloudMiddleware:
         vm: VMInstance,
         dst_node: ComputeNode,
         memory: Optional[object] = None,
+        restarts: int = 0,
     ) -> Process:
         """Initiate a live migration; returns the migration process (an
-        event yielding the MigrationRecord)."""
-        migration = LiveMigration(
-            self.env,
-            self.cluster.fabric,
-            vm,
-            dst_node,
-            self.collector,
-            memory=memory,
-        )
-        return self.env.process(migration.run(), name=f"migrate:{vm.name}")
+        event yielding the final MigrationRecord).
+
+        With ``restarts > 0`` an aborted attempt (destination failure,
+        retry exhaustion, watchdog) is re-issued after
+        ``config.restart_backoff`` seconds, up to ``restarts`` extra
+        attempts — abort-and-restart: the VM kept running on the source
+        throughout, so another attempt is always safe.  Restarting is
+        skipped while the destination node is marked failed.
+        """
+
+        def one_attempt():
+            migration = LiveMigration(
+                self.env,
+                self.cluster.fabric,
+                vm,
+                dst_node,
+                self.collector,
+                memory=memory,
+                config=vm.manager.config,
+            )
+            return self.env.process(migration.run(), name=f"migrate:{vm.name}")
+
+        if restarts <= 0:
+            return one_attempt()
+
+        def attempts():
+            record = yield one_attempt()
+            for n in range(restarts):
+                if not record.aborted:
+                    return record
+                yield self.env.timeout(vm.manager.config.restart_backoff)
+                if getattr(dst_node, "failed", False):
+                    # The destination is (still) down; a fresh attempt
+                    # would abort again without moving a byte.
+                    continue
+                tr = self.env.tracer
+                if tr.enabled:
+                    tr.instant("migration.restart", cat="migration",
+                               tid=f"migration:{vm.name}",
+                               args={"attempt": n + 1})
+                mx = self.env.metrics
+                if mx.enabled:
+                    mx.counter("migration.restarts").inc()
+                record = yield one_attempt()
+            return record
+
+        return self.env.process(attempts(), name=f"migrate-retry:{vm.name}")

@@ -15,6 +15,9 @@ class ComputeNode:
         self.name = name
         self.host = host
         self.disk = disk
+        #: Set by fault injection on a node crash; the network/disk
+        #: effects are injected on the host and fabric directly.
+        self.failed = False
 
     def __repr__(self) -> str:
         return f"<ComputeNode {self.name}>"

@@ -76,6 +76,23 @@ class MigrationConfig:
     compression_ratio: float = 1.0
     compression_bw: float = float("inf")
     dedup: bool = False
+    #: Per-batch transfer timeout (seconds) for the migration data path.
+    #: Infinite by default so fault-free runs take a single attempt with
+    #: no timer events — byte-identical to the pre-fault engines (the
+    #: golden fixtures pin this).  Fault plans set it finite.
+    chunk_timeout: float = float("inf")
+    #: Bounded-retry budget after a transfer timeout or a transient
+    #: repository failure (0 = give up on the first error).
+    retry_max: int = 3
+    #: First retry back-off in seconds; doubles on every further attempt.
+    retry_backoff: float = 0.5
+    #: Watchdog deadline for the pre-control phase: a migration stuck
+    #: longer than this (black-holed control message, partitioned memory
+    #: stream) is aborted, leaving the VM running on the source.
+    migration_timeout: float = float("inf")
+    #: Pause between an abort and the next attempt when the middleware
+    #: restarts a migration (``CloudMiddleware.migrate(restarts=...)``).
+    restart_backoff: float = 5.0
     seed: int = 0
 
     def codec(self):
@@ -101,3 +118,13 @@ class MigrationConfig:
             raise ValueError("compression_ratio must be >= 1")
         if self.compression_bw <= 0:
             raise ValueError("compression_bw must be positive")
+        if self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        if self.retry_max < 0:
+            raise ValueError("retry_max must be >= 0")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.migration_timeout <= 0:
+            raise ValueError("migration_timeout must be positive")
+        if self.restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")

@@ -185,8 +185,10 @@ class HybridManager(MigrationManager):
             # arriving data is cache-absorbed and written back lazily.
             wire, extra = self._wire_events(self, batch, versions, nbytes)
             t0 = self.env.now
-            yield self.env.all_of(
-                [
+
+            def batch_events(peer=peer, batch=batch, nbytes=nbytes,
+                             wire=wire, extra=extra):
+                return [
                     self.vdisk.load(batch),
                     self.pagecache.read(nbytes),
                     self.fabric.transfer(
@@ -195,9 +197,13 @@ class HybridManager(MigrationManager):
                     peer.pagecache.write(nbytes),
                     *extra,
                 ]
-            )
+
+            ok = yield from self._transfer_attempts(batch_events, "push")
             if self.peer is not peer:
                 return  # migration cancelled mid-batch: drop the payload
+            if not ok:
+                self.request_abort("push batch stalled past its retry budget")
+                return
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
             self.stats["pushed_chunks"] += int(batch.size)
@@ -269,12 +275,22 @@ class HybridManager(MigrationManager):
                        args={"remaining_chunks": int(remaining_ids.size)})
         # The chunk list + write counts travel as a control message
         # (8 bytes of id + 8 of count per entry).
-        yield self.fabric.message(
-            self.host,
-            self.peer.host,
-            nbytes=16.0 * remaining_ids.size + 512,
-            tag="control",
+        ok = yield from self._message_attempts(
+            lambda: self.fabric.message(
+                self.host,
+                self.peer.host,
+                nbytes=16.0 * remaining_ids.size + 512,
+                tag="control",
+            ),
+            "transfer-io-control",
         )
+        if not ok:
+            from repro.core.manager import ChunkTransferStalled
+
+            raise ChunkTransferStalled(
+                "TRANSFER_IO_CONTROL undeliverable: destination unreachable "
+                "during downtime"
+            )
         self.peer._install_pull_set(
             remaining_ids, self.chunks.write_count[remaining_ids].copy()
         )
@@ -353,7 +369,13 @@ class HybridManager(MigrationManager):
                     continue
                 break
             t0 = self.env.now
-            yield from self._pull(batch, weight=1.0)
+            ok = yield from self._pull(batch, weight=1.0)
+            if not ok:
+                # The source became unreachable after control transfer —
+                # the unsafe corner of the scheme (paper, Section 6).
+                # Stop prefetching: the source is never released, and
+                # on-demand reads surface the failure loudly.
+                return
             self.stats["pulled_chunks"] += int(batch.size)
             tr = self.env.tracer
             if tr.enabled:
@@ -371,7 +393,14 @@ class HybridManager(MigrationManager):
         yield from self._finish_migration()
 
     def _pull(self, batch: np.ndarray, weight: float) -> Generator:
-        """Pull ``batch`` from the passive source."""
+        """Pull ``batch`` from the passive source.
+
+        Returns ``True`` when the data landed, ``False`` when the
+        request or the transfer stalled past the retry budget (source
+        unreachable after control transfer).  On ``False`` the batch is
+        re-marked pending (minus locally overwritten chunks) and waiting
+        readers are released — the callers decide how to surface it.
+        """
         src = self.peer
         assert src is not None
         self.pull_pending[batch] = False
@@ -380,12 +409,20 @@ class HybridManager(MigrationManager):
             self._pull_inflight[int(c)] = arrival
         # Pull request (control), then the pipelined data path: source
         # disk + source read path, fabric, destination write path + disk.
-        yield self.fabric.message(self.host, src.host, tag="control")
+        ok = yield from self._message_attempts(
+            lambda: self.fabric.message(self.host, src.host, tag="control"),
+            "pull-request",
+        )
+        if not ok:
+            self._pull_failed(batch, arrival)
+            return False
         nbytes = float(batch.size * self.chunk_size)
         versions = src.chunks.version[batch].copy()
         wire, extra = self._wire_events(src, batch, versions, nbytes)
-        yield self.env.all_of(
-            [
+
+        def batch_events(src=src, batch=batch, nbytes=nbytes,
+                         wire=wire, extra=extra, weight=weight):
+            return [
                 src.vdisk.load(batch),
                 src.pagecache.read(nbytes),
                 self.fabric.transfer(
@@ -394,13 +431,34 @@ class HybridManager(MigrationManager):
                 self.pagecache.write(nbytes),
                 *extra,
             ]
-        )
+
+        ok = yield from self._transfer_attempts(batch_events, "pull")
+        if not ok:
+            self._pull_failed(batch, arrival)
+            return False
         self.vdisk.disk.touch(batch)
         # Adopt everything that was not overwritten locally in the meantime.
         alive = batch[~self._pull_cancelled[batch]]
         self.stats["cancelled_pulls"] += int(batch.size - alive.size)
         if alive.size:
             self.receive_chunks(alive, src.chunks.version[alive].copy())
+        for c in batch:
+            self._pull_inflight.pop(int(c), None)
+        arrival.succeed()
+        return True
+
+    def _pull_failed(self, batch: np.ndarray, arrival: Event) -> None:
+        """Bookkeeping for a stalled pull: re-mark the batch pending
+        (except chunks overwritten locally) and release waiting reads."""
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("pull.stalled", cat="faults",
+                       tid=f"pull:{self.vm.name}",
+                       args={"chunks": int(batch.size)})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("pull.stalled.chunks").inc(int(batch.size))
+        self.pull_pending[batch] = ~self._pull_cancelled[batch]
         for c in batch:
             self._pull_inflight.pop(int(c), None)
         arrival.succeed()
@@ -434,7 +492,16 @@ class HybridManager(MigrationManager):
             self._ondemand_depth += 1
             t0 = self.env.now
             try:
-                yield from self._pull(needed, weight=self.config.ondemand_weight)
+                ok = yield from self._pull(
+                    needed, weight=self.config.ondemand_weight
+                )
+                if not ok:
+                    from repro.core.manager import ChunkTransferStalled
+
+                    raise ChunkTransferStalled(
+                        f"on-demand pull of {int(needed.size)} chunk(s) "
+                        "stalled: source unreachable after control transfer"
+                    )
                 self.stats["ondemand_chunks"] += int(needed.size)
                 tr = self.env.tracer
                 if tr.enabled:
@@ -464,7 +531,12 @@ class HybridManager(MigrationManager):
         if tr.enabled:
             tr.instant("pull.drained", cat="storage",
                        tid=f"pull:{self.vm.name}")
-        yield self.fabric.message(self.host, src.host, tag="control")
+        # Best effort: if the source is unreachable the data is all here
+        # anyway; release locally so the migration record completes.
+        yield from self._message_attempts(
+            lambda: self.fabric.message(self.host, src.host, tag="control"),
+            "release",
+        )
         if not src.release_event.triggered:
             src.release_event.succeed(self.env.now)
         if not self.release_event.triggered:

@@ -42,7 +42,14 @@ from repro.storage.virtualdisk import VirtualDisk
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import ComputeNode
 
-__all__ = ["MigrationManager"]
+__all__ = ["MigrationManager", "ChunkTransferStalled"]
+
+
+class ChunkTransferStalled(RuntimeError):
+    """A chunk transfer exhausted its bounded retry budget at a point
+    where aborting the migration is no longer possible (post-control
+    pull with the source unreachable) — the unsafe corner of the
+    hybrid scheme that Section 6 of the paper concedes."""
 
 
 class MigrationManager:
@@ -91,6 +98,13 @@ class MigrationManager:
         #: True on the source between MIGRATION_REQUEST and control transfer
         #: (the only period in which Algorithm 2 counts writes).
         self._count_writes = False
+        #: The LiveMigration process driving this manager's migration
+        #: (source side, pre-control only); :meth:`request_abort`
+        #: interrupts it.
+        self.migration_proc = None
+        #: True while abort-and-restart is still safe (between
+        #: MIGRATION_REQUEST and the stop-and-copy decision).
+        self._abortable = False
 
     # -- convenience -----------------------------------------------------------
     @property
@@ -122,6 +136,148 @@ class MigrationManager:
         self.peer = peer
         return peer
 
+    # -- failure semantics ---------------------------------------------------------
+    def request_abort(self, cause: str) -> bool:
+        """Abort the in-flight migration (source side, pre-control only).
+
+        Engines call this after exhausting their bounded retries; the
+        hypervisor's watchdog calls it when the pre-control phase is
+        stuck.  The interrupt lands in the LiveMigration process, which
+        cancels the migration and leaves the VM running on the source.
+        Returns ``False`` when aborting is not possible (no migration in
+        flight, or already past the stop-and-copy point of no return).
+        """
+        proc = self.migration_proc
+        if not (self.is_source and self._abortable):
+            return False
+        if proc is None or not proc.is_alive:
+            return False
+        self._abortable = False
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("migration.abort_requested", cat="migration",
+                       tid=f"migration:{self.vm.name}", args={"cause": cause})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("migration.aborts.requested").inc()
+        proc.interrupt(cause)
+        return True
+
+    def _emit_retry(self, label: str, attempt: int, delay: float) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("transfer.retry", cat="faults",
+                       tid=f"faults:{self.vm.name}",
+                       args={"label": label, "attempt": attempt,
+                             "backoff": delay})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("transfer.retries").inc()
+
+    def _emit_timeout(self, kind: str, label: str, attempt: int) -> None:
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant(kind, cat="faults", tid=f"faults:{self.vm.name}",
+                       args={"label": label, "attempt": attempt})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("transfer.timeouts").inc()
+
+    def _transfer_attempts(self, make_events, label: str) -> Generator:
+        """Run a pipelined transfer batch under the per-batch timeout.
+
+        ``make_events`` builds the batch's event list afresh for every
+        attempt (fabric transfers, disk loads, page-cache charges).  With
+        the default infinite ``chunk_timeout`` this is exactly the
+        pre-fault single attempt — no extra events, so fault-free runs
+        stay byte-identical.  Otherwise each timed-out attempt cancels
+        its stuck fabric flows, backs off exponentially and retries up
+        to ``retry_max`` times.  Returns ``True`` when the batch landed,
+        ``False`` when the retry budget is exhausted.
+        """
+        cfg = self.config
+        if cfg.chunk_timeout == float("inf"):
+            events = make_events()
+            if len(events) == 1:
+                yield events[0]
+            else:
+                yield self.env.all_of(events)
+            return True
+        delay = cfg.retry_backoff
+        for attempt in range(cfg.retry_max + 1):
+            events = make_events()
+            done = self.env.all_of(events)
+            yield self.env.any_of([done, self.env.timeout(cfg.chunk_timeout)])
+            if done.triggered:
+                return True
+            for ev in events:
+                self.fabric.cancel(ev)
+            self._emit_timeout("transfer.timeout", label, attempt)
+            if attempt == cfg.retry_max:
+                return False
+            self._emit_retry(label, attempt, delay)
+            yield self.env.timeout(delay)
+            delay *= 2
+        return False
+
+    def _message_attempts(self, make_message, label: str) -> Generator:
+        """Deliver a control message under the chunk timeout.
+
+        A message to a crashed or partitioned host is black-holed (lost
+        in transit); each timed-out attempt resends after exponential
+        back-off.  Fault-free (infinite timeout) this yields the bare
+        message event, adding nothing.  Returns ``True`` on delivery.
+        """
+        cfg = self.config
+        if cfg.chunk_timeout == float("inf"):
+            yield make_message()
+            return True
+        delay = cfg.retry_backoff
+        for attempt in range(cfg.retry_max + 1):
+            ev = make_message()
+            yield self.env.any_of([ev, self.env.timeout(cfg.chunk_timeout)])
+            if ev.triggered:
+                return True
+            self._emit_timeout("message.timeout", label, attempt)
+            if attempt == cfg.retry_max:
+                return False
+            self._emit_retry(label, attempt, delay)
+            yield self.env.timeout(delay)
+            delay *= 2
+        return False
+
+    def _repo_fetch(self, chunk_ids: np.ndarray, tag: str = "repo-fetch") -> Generator:
+        """Repository fetch with bounded retry over transient failures.
+
+        Fault-free this yields exactly the event ``repo.fetch`` returns.
+        When every live replica of a chunk is down the fetch is retried
+        with exponential back-off until ``retry_max`` is exhausted, then
+        the final :class:`RepositoryUnavailable` propagates.
+        """
+        from repro.repository.blobseer import RepositoryUnavailable
+
+        cfg = self.config
+        delay = cfg.retry_backoff
+        attempt = 0
+        while True:
+            try:
+                ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
+            except RepositoryUnavailable:
+                mx = self.env.metrics
+                if mx.enabled:
+                    mx.counter("repo.fetch.unavailable").inc()
+                if attempt >= cfg.retry_max:
+                    if mx.enabled:
+                        mx.counter("repo.fetch.gaveup").inc()
+                    raise
+                self._emit_retry(tag, attempt, delay)
+                yield self.env.timeout(delay)
+                delay *= 2
+                attempt += 1
+                continue
+            yield ev
+            return
+
     # -- guest I/O path ----------------------------------------------------------
     def read(self, offset: int, nbytes: int) -> Generator:
         """Guest read (Algorithm 4 in the hybrid subclass)."""
@@ -135,7 +291,7 @@ class MigrationManager:
             mx = self.env.metrics
             if mx.enabled:
                 mx.counter("cor.fetch.chunks").inc(int(missing.size))
-            yield self.repo.fetch(missing, self.host, tag="repo-fetch")
+            yield from self._repo_fetch(missing)
             self.chunks.record_fetch(missing)
             self.vdisk.disk.touch(missing)
         yield self.pagecache.read(nbytes)
@@ -150,7 +306,7 @@ class MigrationManager:
         if missing_partials.size:
             # Read-modify-write: a partial write into a never-seen chunk
             # needs the chunk's base content first.
-            yield self.repo.fetch(missing_partials, self.host, tag="repo-fetch")
+            yield from self._repo_fetch(missing_partials)
             self.chunks.record_fetch(missing_partials)
         yield from self._absorb_write(span, nbytes)
         versions = self.vm.bump_content(span)
@@ -249,6 +405,8 @@ class MigrationManager:
         self._count_writes = False
         self.is_source = False
         self.peer = None
+        self._abortable = False
+        self.migration_proc = None
 
     # -- data-plane receive helpers --------------------------------------------
     def receive_chunks(self, chunk_ids: np.ndarray, versions: np.ndarray) -> None:

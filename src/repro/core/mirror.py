@@ -61,8 +61,9 @@ class MirrorManager(MigrationManager):
             versions = self.chunks.version[batch].copy()
             nbytes = float(batch.size * self.chunk_size)
             t0 = self.env.now
-            yield self.env.all_of(
-                [
+
+            def batch_events(peer=peer, batch=batch, nbytes=nbytes):
+                return [
                     self.vdisk.load(batch),
                     self.pagecache.read(nbytes),
                     self.fabric.transfer(
@@ -70,8 +71,14 @@ class MirrorManager(MigrationManager):
                     ),
                     peer.pagecache.write(nbytes),
                 ]
-            )
+
+            ok = yield from self._transfer_attempts(batch_events, "mirror-bulk")
             if self.peer is not peer:
+                return
+            if not ok:
+                self.request_abort(
+                    "mirror bulk copy stalled past its retry budget"
+                )
                 return
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
@@ -93,9 +100,23 @@ class MirrorManager(MigrationManager):
         peer = self.peer
         try:
             versions = self.chunks.version[span].copy()
-            yield self.fabric.transfer(
-                self.host, peer.host, float(nbytes), tag="storage-mirror"
+            ok = yield from self._transfer_attempts(
+                lambda: [
+                    self.fabric.transfer(
+                        self.host, peer.host, float(nbytes), tag="storage-mirror"
+                    )
+                ],
+                "mirror-write",
             )
+            if not ok:
+                # The destination stopped acknowledging: the write already
+                # landed locally, so stop mirroring and abort the
+                # migration rather than stall the guest forever.
+                self._mirroring = False
+                self.request_abort(
+                    "mirrored write stalled past its retry budget"
+                )
+                return
             if not self.config.mirror_sync_writes:
                 # Async variant (ablation): ack without waiting for the
                 # destination's persistence.

@@ -25,7 +25,8 @@ from typing import Generator
 
 import numpy as np
 
-from repro.core.manager import MigrationManager
+from repro.core.manager import ChunkTransferStalled, MigrationManager
+from repro.repository.blobseer import RepositoryUnavailable
 from repro.simkernel.events import Interrupt
 
 __all__ = ["PrecopyManager"]
@@ -102,19 +103,26 @@ class PrecopyManager(MigrationManager):
             if missing.size:
                 # Reading a never-touched region through the COW layer
                 # materializes it from the repository first.
-                yield self.repo.fetch(missing, self.host, tag="repo-fetch")
+                try:
+                    yield from self._repo_fetch(missing)
+                except RepositoryUnavailable:
+                    self.request_abort(
+                        "repository unreachable during precopy sweep"
+                    )
+                    return
                 self.chunks.record_fetch(missing)
                 self.vdisk.disk.touch(missing)
             versions = self.chunks.version[batch].copy()
             peer = self.peer
             nbytes = float(batch.size * self.chunk_size)
             t0 = self.env.now
+
             # The moved bytes pipeline through: source disk, the guest read
             # path (block reads), the guest write path (qcow2 buffer copies
             # with amplification), the fabric, the destination's write
             # path and disk.
-            yield self.env.all_of(
-                [
+            def batch_events(peer=peer, batch=batch, nbytes=nbytes):
+                return [
                     self.vdisk.load(batch),
                     self.pagecache.read(nbytes * self.read_amplification),
                     self.pagecache.write(
@@ -125,9 +133,15 @@ class PrecopyManager(MigrationManager):
                     ),
                     peer.pagecache.write(nbytes),
                 ]
-            )
+
+            ok = yield from self._transfer_attempts(batch_events, "precopy")
             if self.peer is not peer:
                 return  # cancelled mid-batch
+            if not ok:
+                self.request_abort(
+                    "precopy batch stalled past its retry budget"
+                )
+                return
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
             resent = self._sent_once[batch]
@@ -199,17 +213,27 @@ class PrecopyManager(MigrationManager):
         self.dirty[ids] = False
         missing = self.chunks.missing_in(ids)
         if missing.size:
-            yield self.repo.fetch(missing, self.host, tag="repo-fetch")
+            yield from self._repo_fetch(missing)
             self.chunks.record_fetch(missing)
             self.vdisk.disk.touch(missing)
         versions = self.chunks.version[ids].copy()
         yield self.vdisk.load(ids)
-        yield self.fabric.transfer(
-            self.host,
-            self.peer.host,
-            float(ids.size * self.chunk_size),
-            tag="storage-push",
+        ok = yield from self._transfer_attempts(
+            lambda: [
+                self.fabric.transfer(
+                    self.host,
+                    self.peer.host,
+                    float(ids.size * self.chunk_size),
+                    tag="storage-push",
+                )
+            ],
+            "precopy-final",
         )
+        if not ok:
+            raise ChunkTransferStalled(
+                "final precopy flush stalled: destination unreachable "
+                "during downtime"
+            )
         self.peer.receive_chunks(ids, versions)
         self.peer.vdisk.disk.touch(ids)
         self.stats["final_chunks"] += int(ids.size)

@@ -133,6 +133,30 @@ def _memory_strategy():
     return PrecopyMemory(downtime_target=0.05, max_rounds=30)
 
 
+def _apply_faults(env, cloud, faults):
+    """Start a FaultInjector for ``faults`` against the cloud's cluster."""
+    if faults is None:
+        return
+    from repro.faults import FaultInjector
+
+    FaultInjector(env, cloud.cluster, faults).start()
+
+
+def _run_env(env, faults) -> None:
+    """Drive the simulation, bounded by the plan's horizon when set."""
+    if faults is not None and faults.horizon is not None:
+        env.run(until=faults.horizon)
+    else:
+        env.run()
+
+
+def _faulted_config(config, faults):
+    """Fold a plan's failure-semantics overrides into the config."""
+    if faults is None:
+        return config
+    return faults.apply_to(config if config is not None else MigrationConfig())
+
+
 def _build_workload(kind: str, vm, seed: int, workload_kwargs: dict):
     if kind == "ior":
         return IORWorkload(vm, seed=seed, **workload_kwargs)
@@ -151,16 +175,24 @@ def run_single_migration(
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
     obs: Optional[Observability] = None,
+    faults=None,
+    restarts: int = 0,
 ) -> ScenarioOutcome:
     """Section 5.3: one VM, one migration after ``warmup`` seconds.
 
     ``migrate=False`` produces the migration-free baseline run used for
     normalization.  ``obs`` attaches a tracing/metrics bundle; the run's
     events land in a process lane named after the approach/workload.
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) schedules fault
+    injection, folds the plan's timeout/retry knobs into the config and
+    bounds the run by the plan's horizon; ``restarts`` re-issues an
+    aborted migration that many extra times.
     """
     label = f"{approach}/{workload}" + ("" if migrate else "/baseline")
+    config = _faulted_config(config, faults)
     with _scope(obs, label):
         env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        _apply_faults(env, cloud, faults)
         working_set = ASYNCWR_WORKING_SET if workload == "asyncwr" else VM_WORKING_SET
         vm = cloud.deploy(
             "vm0",
@@ -177,12 +209,13 @@ def run_single_migration(
             def migrator():
                 yield env.timeout(warmup)
                 yield cloud.migrate(
-                    vm, cloud.cluster.node(1), memory=_memory_strategy()
+                    vm, cloud.cluster.node(1), memory=_memory_strategy(),
+                    restarts=restarts,
                 )
 
             env.process(migrator())
 
-        env.run()
+        _run_env(env, faults)
 
         outcome = ScenarioOutcome(approach=approach, workload=workload)
         outcome.migration_times = cloud.collector.migration_times()
@@ -217,6 +250,7 @@ def run_concurrent_migrations(
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
     obs: Optional[Observability] = None,
+    faults=None,
 ) -> ScenarioOutcome:
     """Section 5.4: AsyncWR on every source; the first ``n_migrations`` VMs
     migrate simultaneously after the warm-up."""
@@ -224,8 +258,10 @@ def run_concurrent_migrations(
         raise ValueError("cannot migrate more VMs than sources")
     n_nodes = n_sources + max(n_migrations, 1)
     label = f"{approach}/asyncwr-x{n_migrations}" + ("" if migrate else "/baseline")
+    config = _faulted_config(config, faults)
     with _scope(obs, label):
         env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        _apply_faults(env, cloud, faults)
         vms = []
         workloads = []
         for i in range(n_sources):
@@ -253,7 +289,7 @@ def run_concurrent_migrations(
             for i in range(n_migrations):
                 env.process(migrator(i))
 
-        env.run()
+        _run_env(env, faults)
 
         outcome = ScenarioOutcome(approach=approach, workload="asyncwr")
         outcome.migration_times = cloud.collector.migration_times()
@@ -284,6 +320,7 @@ def run_cm1_successive(
     config: Optional[MigrationConfig] = None,
     workload_kwargs: Optional[dict] = None,
     obs: Optional[Observability] = None,
+    faults=None,
 ) -> ScenarioOutcome:
     """Section 5.5: a CM1 ensemble; rank *i* migrates at
     ``first_at + i * interval`` (i < n_migrations).
@@ -296,8 +333,10 @@ def run_cm1_successive(
         raise ValueError("cannot migrate more ranks than exist")
     n_nodes = n_ranks + max(n_migrations, 1)
     label = f"{approach}/cm1-x{n_migrations}" + ("" if migrate else "/baseline")
+    config = _faulted_config(config, faults)
     with _scope(obs, label):
         env, cloud = _make_cloud(n_nodes, config, obs=obs)
+        _apply_faults(env, cloud, faults)
         vms = []
         for i in range(n_ranks):
             vm = cloud.deploy(
@@ -326,7 +365,7 @@ def run_cm1_successive(
             for i in range(n_migrations):
                 env.process(migrator(i))
 
-        env.run()
+        _run_env(env, faults)
 
         outcome = ScenarioOutcome(approach=approach, workload="cm1")
         outcome.migration_times = cloud.collector.migration_times()

@@ -1,0 +1,265 @@
+"""Declarative fault plans: what fails, where, when, and how badly.
+
+A :class:`FaultPlan` is the unit of reproducibility for chaos runs: it is
+plain data (JSON round-trippable), it carries the failure-semantics knobs
+the engines need (timeouts, retry budget), and :meth:`FaultPlan.random`
+derives a plan deterministically from a seed so a failing chaos run can be
+replayed byte-for-byte from ``(seed, plan)`` alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+#: The fault kinds the injector understands.
+#:
+#: ``link-degrade``   cap a host NIC (or the backplane) to ``severity`` x
+#:                    its base capacity over a window.
+#: ``link-partition`` zero a host's NIC capacities over a window; with no
+#:                    ``duration`` the partition is permanent, which the
+#:                    injector treats as a network-level crash.
+#: ``node-crash``     fail a compute node: NICs zeroed, in-flight flows
+#:                    torn down, new flows black-holed; with ``duration``
+#:                    the node comes back (reboot).
+#: ``repo-server-down`` fail one stripe server of the BLOB repository;
+#:                    fetches fail over to replicas or raise.
+#: ``slow-disk``      cap a node's local disk to ``severity`` x its base
+#:                    bandwidth over a window.
+KINDS = frozenset(
+    {
+        "link-degrade",
+        "link-partition",
+        "node-crash",
+        "repo-server-down",
+        "slow-disk",
+    }
+)
+
+#: Kinds whose ``severity`` field is meaningful (a capacity fraction).
+_SEVERITY_KINDS = frozenset({"link-degrade", "slow-disk"})
+
+#: Special target name for backplane-wide link faults.
+BACKPLANE = "backplane"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    target:
+        Node name (e.g. ``"node1"``), or :data:`BACKPLANE` for
+        backplane-wide link faults.  For ``repo-server-down`` the node
+        name identifies the stripe server co-located on that node.
+    at:
+        Injection time (simulated seconds).
+    duration:
+        Recovery happens ``duration`` seconds after injection; ``None``
+        means the fault is permanent.
+    severity:
+        Remaining capacity as a fraction of base for ``link-degrade`` /
+        ``slow-disk`` (e.g. ``0.1`` = 10% of base left).  Ignored for the
+        other kinds.
+    """
+
+    kind: str
+    target: str
+    at: float
+    duration: Optional[float] = None
+    severity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError("fault injection time must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("fault duration must be positive (or None)")
+        if self.kind in _SEVERITY_KINDS:
+            if not 0.0 <= self.severity < 1.0:
+                raise ValueError(
+                    f"{self.kind} severity must lie in [0, 1): it is the "
+                    "fraction of base capacity left during the fault"
+                )
+            if self.kind == "slow-disk" and self.severity <= 0.0:
+                raise ValueError(
+                    "slow-disk severity must be > 0 (a disk at zero "
+                    "bandwidth is a node crash, not a slow disk)"
+                )
+        if self.kind == "repo-server-down" and self.target == BACKPLANE:
+            raise ValueError("repo-server-down targets a node, not the backplane")
+        if self.kind in {"node-crash", "slow-disk"} and self.target == BACKPLANE:
+            raise ValueError(f"{self.kind} targets a node, not the backplane")
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration is None
+
+    @property
+    def clear_at(self) -> Optional[float]:
+        return None if self.duration is None else self.at + self.duration
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown FaultSpec field(s): {sorted(extra)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A schedule of faults plus the failure semantics it imposes.
+
+    The ``chunk_timeout`` / ``retry_max`` / ``retry_backoff`` /
+    ``migration_timeout`` / ``restart_backoff`` fields override the
+    corresponding :class:`~repro.core.config.MigrationConfig` fields when
+    the plan is applied (``None`` leaves the config value alone).  Their
+    defaults here are finite — a fault plan without finite timeouts would
+    hang on the first black-holed transfer — whereas the config defaults
+    are infinite so fault-free runs stay event-identical.
+
+    ``horizon`` bounds the simulation (``env.run(until=horizon)``): the
+    backstop that turns any residual hang into a bounded, inspectable
+    outcome instead of a wedged run.
+    """
+
+    faults: Sequence[FaultSpec] = ()
+    chunk_timeout: Optional[float] = 30.0
+    retry_max: Optional[int] = 4
+    retry_backoff: Optional[float] = 0.5
+    migration_timeout: Optional[float] = 600.0
+    restart_backoff: Optional[float] = None
+    horizon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if not isinstance(f, FaultSpec):
+                raise TypeError(f"faults entries must be FaultSpec, got {f!r}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        if self.retry_max is not None and self.retry_max < 0:
+            raise ValueError("retry_max must be >= 0")
+        if self.retry_backoff is not None and self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.migration_timeout is not None and self.migration_timeout <= 0:
+            raise ValueError("migration_timeout must be positive")
+        if self.restart_backoff is not None and self.restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    # -- MigrationConfig coupling -----------------------------------------
+
+    _CONFIG_FIELDS = (
+        "chunk_timeout",
+        "retry_max",
+        "retry_backoff",
+        "migration_timeout",
+        "restart_backoff",
+    )
+
+    def apply_to(self, config):
+        """Return ``config`` with this plan's non-``None`` failure knobs."""
+        overrides = {
+            name: getattr(self, name)
+            for name in self._CONFIG_FIELDS
+            if getattr(self, name) is not None
+        }
+        return dataclasses.replace(config, **overrides)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {name: getattr(self, name) for name in self._CONFIG_FIELDS}
+        data["horizon"] = self.horizon
+        data["faults"] = [f.to_dict() for f in self.faults]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        faults = [FaultSpec.from_dict(f) for f in data.pop("faults", [])]
+        known = {f.name for f in dataclasses.fields(cls)} - {"faults"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown FaultPlan field(s): {sorted(extra)}")
+        return cls(faults=faults, **data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def to_file(self, path) -> None:
+        pathlib.Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    # -- generation --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        targets: Sequence[str],
+        kinds: Iterable[str] = KINDS,
+        n_faults: int = 3,
+        window: tuple = (0.0, 30.0),
+        max_duration: float = 10.0,
+        **overrides,
+    ) -> "FaultPlan":
+        """Derive a reproducible plan from ``seed``.
+
+        Every generated fault is temporary (``duration`` is always drawn),
+        so random plans describe transient chaos the engines are expected
+        to ride out or abort from cleanly.  Identical arguments produce an
+        identical plan; differing seeds differ in firing times (and
+        usually in kinds/targets too).
+        """
+        kinds = sorted(kinds)
+        targets = list(targets)
+        if not kinds or not targets:
+            raise ValueError("random plans need at least one kind and target")
+        rng = np.random.default_rng(seed)
+        faults = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            target = targets[int(rng.integers(len(targets)))]
+            at = float(rng.uniform(window[0], window[1]))
+            duration = float(rng.uniform(0.5, max_duration))
+            severity = 0.0
+            if kind in _SEVERITY_KINDS:
+                severity = float(rng.uniform(0.05, 0.8))
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    target=target,
+                    at=at,
+                    duration=duration,
+                    severity=severity,
+                )
+            )
+        faults.sort(key=lambda f: (f.at, f.kind, f.target))
+        return cls(faults=faults, **overrides)

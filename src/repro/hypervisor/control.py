@@ -42,6 +42,7 @@ class LiveMigration:
         dst_node,
         collector: MetricsCollector,
         memory: Optional[object] = None,
+        config=None,
     ):
         self.env = env
         self.fabric = fabric
@@ -49,6 +50,8 @@ class LiveMigration:
         self.dst_node = dst_node
         self.collector = collector
         self.memory = memory if memory is not None else PrecopyMemory()
+        # Failure-semantics knobs; defaults to the manager's config.
+        self.config = config
 
     def run(self) -> Generator:
         env = self.env
@@ -66,6 +69,26 @@ class LiveMigration:
         stats = MemoryStats()
 
         from repro.simkernel.events import Interrupt
+
+        # Register this process as the abort target: engines that exhaust
+        # their retry budget (and the watchdog below) interrupt it while
+        # aborting is still safe.
+        cfg = self.config if self.config is not None else src_mgr.config
+        src_mgr.migration_proc = env.active_process
+        src_mgr._abortable = True
+        watchdog = None
+        if cfg.migration_timeout != float("inf"):
+
+            def deadline():
+                try:
+                    yield env.timeout(cfg.migration_timeout)
+                except Interrupt:
+                    return
+                src_mgr.request_abort(
+                    f"pre-control phase exceeded {cfg.migration_timeout:g}s"
+                )
+
+            watchdog = env.process(deadline(), name=f"mig-watchdog:{vm.name}")
 
         try:
             # MIGRATION_REQUEST: storage strategy sets up its destination
@@ -85,16 +108,24 @@ class LiveMigration:
             # storage layer stops pushing and hands over what it needs to.
             yield from src_mgr.on_sync()
             record.add_phase("sync", pre_control_done, env.now)
-        except Interrupt:
+        except Interrupt as intr:
             # Abort before control transfer (destination failure or a
             # withdrawn request): the VM never stopped running on the
             # source; discard the half-populated destination.
             src_mgr.cancel_migration()
             record.aborted = True
+            record.abort_cause = (
+                str(intr.cause) if intr.cause is not None else None
+            )
             record.memory_rounds = stats.rounds
             record.memory_bytes = stats.bytes_sent
+            self._disarm(src_mgr, watchdog)
             self._trace_record(record, stats)
             return record
+
+        # Point of no return: the stop-and-copy starts, aborting is no
+        # longer safe (the VM is about to resume on the destination).
+        self._disarm(src_mgr, watchdog)
 
         # Stop-and-copy downtime: quiesce in-flight guest I/O (QEMU's
         # bdrv_drain_all), then move residual memory + device state.
@@ -131,6 +162,13 @@ class LiveMigration:
         self._trace_record(record, stats)
         return record
 
+    def _disarm(self, src_mgr, watchdog) -> None:
+        """Leave the abortable window and stop the watchdog."""
+        src_mgr._abortable = False
+        src_mgr.migration_proc = None
+        if watchdog is not None and watchdog.is_alive:
+            watchdog.interrupt("migration left the pre-control phase")
+
     def _trace_record(self, record: MigrationRecord, stats: MemoryStats) -> None:
         """Mirror the finished record into the tracer/metrics registry."""
         env = self.env
@@ -140,7 +178,8 @@ class LiveMigration:
             for name, start, end in record.phases:
                 tr.complete(name, start, end, cat="migration", tid=tid)
             if record.aborted:
-                tr.instant("migration.aborted", cat="migration", tid=tid)
+                tr.instant("migration.aborted", cat="migration", tid=tid,
+                           args={"cause": record.abort_cause})
             elif record.control_at is not None:
                 tr.instant("control-transfer", cat="migration", tid=tid,
                            args={"downtime": record.downtime})

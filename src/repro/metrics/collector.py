@@ -38,6 +38,8 @@ class MigrationRecord:
     #: (destination failure / middleware withdrawal); the VM stayed on
     #: the source.
     aborted: bool = False
+    #: Human-readable abort reason (retry exhaustion, watchdog, ...).
+    abort_cause: Optional[str] = None
     #: Phase spans ``(name, start, end)`` in wall order, recorded by the
     #: hypervisor (see metrics.report.render_migration_timeline).
     phases: list[tuple[str, float, float]] = field(default_factory=list)

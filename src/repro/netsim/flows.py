@@ -151,10 +151,15 @@ class Fabric:
             ev = Event(self.env)
             ev.succeed(0.0)
             return ev
+        if src.failed or dst.failed:
+            return self._black_hole(src, dst, tag)
         flow = NetFlow(self.env, src, dst, nbytes, tag, weight)
         if nbytes == 0:
             flow.done.succeed(0.0)
             return flow.done
+        # Handle back to the flow, so Fabric.cancel() can find and
+        # abandon it from just the returned event.
+        flow.done.flow = flow
         self._advance()
         self._flows.append(flow)
         self._recompute()
@@ -172,6 +177,12 @@ class Fabric:
             ev = Event(self.env)
             ev.succeed(0.0)
             return ev
+        if src.failed or dst.failed:
+            return self._black_hole(src, dst, tag)
+        cap = min(src.nic_out, dst.nic_in)
+        if cap <= 0:
+            # Fully partitioned link: the message is lost in transit.
+            return self._black_hole(src, dst, tag)
         self.meter.add(tag, nbytes)
         tr = self.env.tracer
         if tr.enabled and tr.verbose:
@@ -181,8 +192,76 @@ class Fabric:
         mx = self.env.metrics
         if mx.enabled:
             mx.counter(f"net.messages.{tag}").inc()
-        wire = nbytes / min(src.nic_out, dst.nic_in)
+        wire = nbytes / cap
         return self.env.timeout(self.latency + wire)
+
+    def cancel(self, done_event: Event) -> bool:
+        """Abandon the in-flight flow behind ``done_event`` (a value
+        previously returned by :meth:`transfer`).
+
+        Bytes moved so far stay credited to the traffic meter; the event
+        is left pending forever — failing it would crash waiters that
+        already gave up on it, and a pending event not in the queue never
+        blocks ``env.run()``.  Returns ``True`` when a live flow was
+        actually removed (``False`` for completed flows, black-holed
+        transfers and non-flow events).
+        """
+        flow = getattr(done_event, "flow", None)
+        if flow is None or flow not in self._flows:
+            return False
+        self._advance()
+        if flow not in self._flows:
+            return False  # crossed the finish line at the integration step
+        self._flows.remove(flow)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("flow.cancelled", cat="net", tid=f"net:{flow.tag}",
+                       args={"src": flow.src.name, "dst": flow.dst.name,
+                             "left_bytes": flow.remaining})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("net.flows.cancelled").inc()
+        self._recompute()
+        self._reschedule()
+        return True
+
+    def abort_flows(self, host: Host) -> int:
+        """Tear down every in-flight flow touching ``host`` (node crash).
+
+        Each aborted flow's ``done`` event stays pending forever — its
+        waiters recover through their own timeout/retry machinery.
+        Returns the number of flows removed.
+        """
+        self._advance()
+        doomed = [fl for fl in self._flows if fl.src is host or fl.dst is host]
+        if not doomed:
+            return 0
+        for fl in doomed:
+            self._flows.remove(fl)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("flows.aborted", cat="net", tid="net:faults",
+                       args={"host": host.name, "count": len(doomed)})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("net.flows.aborted").inc(len(doomed))
+        self._recompute()
+        self._reschedule()
+        return len(doomed)
+
+    def _black_hole(self, src: Host, dst: Host, tag: str) -> Event:
+        """A transfer or message touching a crashed/partitioned endpoint:
+        it never completes and moves no bytes.  The returned event stays
+        pending forever — the caller's timeout/abort machinery is the
+        only recovery path."""
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.instant("flow.blackholed", cat="net", tid=f"net:{tag}",
+                       args={"src": src.name, "dst": dst.name})
+        mx = self.env.metrics
+        if mx.enabled:
+            mx.counter("net.flows.blackholed").inc()
+        return Event(self.env)
 
     def rpc(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control"):
         """Generator helper: request + reply round trip."""

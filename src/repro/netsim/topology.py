@@ -26,12 +26,18 @@ class Host:
     nic_out: float
     nic_in: float
     rack: int = 0
+    #: Set by fault injection (node crash / permanent partition): the
+    #: fabric refuses new flows touching a failed host.
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.nic_out <= 0 or self.nic_in <= 0:
             raise ValueError(f"host {self.name!r}: NIC capacities must be > 0")
         if self.rack < 0:
             raise ValueError(f"host {self.name!r}: rack must be >= 0")
+        # Undegraded capacities, so link faults can scale and restore.
+        self.nic_out_base = self.nic_out
+        self.nic_in_base = self.nic_in
 
     def __hash__(self) -> int:
         return self.index
@@ -60,6 +66,10 @@ class Topology:
     _nic_out_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
     _nic_in_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
     _rack_cache: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.intp))
+
+    def __post_init__(self) -> None:
+        # Configured backplane capacity; fault injection scales from this.
+        self._backplane_base = self.backplane
 
     def add_host(
         self,
@@ -116,6 +126,58 @@ class Topology:
                 [h.rack for h in self.hosts], dtype=np.intp
             )
         return self._rack_cache
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def _resolve(self, host: "Host | str") -> Host:
+        return self._by_name[host] if isinstance(host, str) else host
+
+    def _invalidate_nic_caches(self) -> None:
+        # The NIC caches are keyed on *length* only, so a same-size
+        # capacity mutation must drop them explicitly.
+        self._nic_out_cache = np.zeros(0)
+        self._nic_in_cache = np.zeros(0)
+
+    def degrade_host(self, host: "Host | str", factor: float) -> Host:
+        """Scale a host's NIC capacities to ``factor`` x their base values
+        (``0`` = fully partitioned, ``1`` = healthy)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("degrade factor must lie in [0, 1]")
+        host = self._resolve(host)
+        host.nic_out = host.nic_out_base * factor
+        host.nic_in = host.nic_in_base * factor
+        self._invalidate_nic_caches()
+        return host
+
+    def restore_host(self, host: "Host | str") -> Host:
+        """Undo any degradation or failure on ``host``."""
+        host = self._resolve(host)
+        host.failed = False
+        return self.degrade_host(host, 1.0)
+
+    # Crash recovery and link restoration are the same operation at the
+    # topology level; both names exist for call-site clarity.
+    recover_host = restore_host
+
+    def fail_host(self, host: "Host | str") -> Host:
+        """Crash ``host``: NICs zeroed and new flows refused (the fabric
+        black-holes transfers touching a failed host)."""
+        host = self._resolve(host)
+        host.failed = True
+        return self.degrade_host(host, 0.0)
+
+    def set_backplane_factor(self, factor: float) -> float | None:
+        """Scale the backplane to ``factor`` x its configured capacity.
+
+        A non-blocking switch (``backplane is None``) has no finite base
+        to scale; the call is a no-op returning ``None``.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("backplane factor must lie in [0, 1]")
+        if self._backplane_base is None:
+            return None
+        self.backplane = self._backplane_base * factor
+        return self.backplane
 
     def constraints_for(
         self,

@@ -77,6 +77,11 @@ class StripedRepository:
     def failed_servers(self) -> frozenset[int]:
         return frozenset(self._failed)
 
+    def _server_alive(self, index: int) -> bool:
+        # A stripe server is unreachable both when failed explicitly and
+        # when the node hosting it crashed (host-level fault injection).
+        return index not in self._failed and not self.servers[index].failed
+
     def fetch(
         self,
         chunk_ids: np.ndarray,
@@ -94,7 +99,7 @@ class StripedRepository:
         per_server: dict[int, int] = defaultdict(int)
         for chunk in chunk_ids:
             replicas = [
-                s for s in self.replicas_of(int(chunk)) if s not in self._failed
+                s for s in self.replicas_of(int(chunk)) if self._server_alive(s)
             ]
             if not replicas:
                 raise RepositoryUnavailable(
@@ -148,7 +153,7 @@ class StripedRepository:
         per_server: dict[int, int] = defaultdict(int)
         for chunk in chunk_ids:
             for sidx in self.replicas_of(int(chunk)):
-                if sidx in self._failed:
+                if not self._server_alive(sidx):
                     raise RepositoryUnavailable(
                         f"replica server {sidx} of chunk {int(chunk)} is down"
                     )

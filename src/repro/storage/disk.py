@@ -49,6 +49,7 @@ class LocalDisk:
         self.env = env
         self.name = name
         self.chunk_size = int(chunk_size)
+        self._base_bandwidth = float(bandwidth)
         self._share = FluidShare(env, bandwidth, name=f"disk:{name}")
         self._cache_slots = int(cache_bytes // chunk_size)
         self._warm: OrderedDict[int, None] = OrderedDict()
@@ -60,6 +61,15 @@ class LocalDisk:
     @property
     def bandwidth(self) -> float:
         return self._share.capacity
+
+    def set_bandwidth_factor(self, factor: float) -> None:
+        """Degrade (slow-disk fault) or restore the disk: capacity becomes
+        ``factor`` x the configured bandwidth.  In-flight I/O is
+        integrated at the old rate first, then continues at the new one.
+        """
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        self._share.set_capacity(self._base_bandwidth * factor)
 
     # -- warm set -----------------------------------------------------------
     def touch(self, chunks: Iterable[int]) -> None:

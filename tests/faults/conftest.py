@@ -1,0 +1,34 @@
+"""Shared fixtures for the fault-injection suite.
+
+Every chaos/property test runs under a hard wall-clock deadline: a hang
+(the one failure mode fault injection is most likely to introduce) fails
+loudly instead of wedging the whole suite.  Implemented with SIGALRM
+because pytest-timeout is not a baked-in dependency of the image.
+"""
+
+import signal
+
+import pytest
+
+WALL_CLOCK_LIMIT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX only
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {WALL_CLOCK_LIMIT_S}s wall-clock budget "
+            "(likely a simulation hang)"
+        )
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(WALL_CLOCK_LIMIT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)

@@ -1,0 +1,142 @@
+"""FaultSpec/FaultPlan: validation, JSON round-trip, config coupling,
+seed-reproducible generation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MigrationConfig
+from repro.faults import KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_all_kinds_constructible(self):
+        for kind in sorted(KINDS):
+            target = "node1"
+            severity = 0.5 if kind in ("link-degrade", "slow-disk") else 0.0
+            spec = FaultSpec(kind=kind, target=target, at=1.0,
+                             duration=2.0, severity=severity)
+            assert spec.clear_at == 3.0
+            assert not spec.permanent
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike", target="node1", at=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="injection time"):
+            FaultSpec(kind="node-crash", target="node1", at=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultSpec(kind="node-crash", target="node1", at=0.0, duration=0.0)
+
+    def test_degrade_severity_must_be_fraction(self):
+        with pytest.raises(ValueError, match="severity"):
+            FaultSpec(kind="link-degrade", target="node1", at=0.0, severity=1.0)
+
+    def test_slow_disk_severity_must_be_positive(self):
+        with pytest.raises(ValueError, match="slow-disk severity"):
+            FaultSpec(kind="slow-disk", target="node1", at=0.0, severity=0.0)
+
+    def test_node_kinds_reject_backplane_target(self):
+        for kind in ("node-crash", "repo-server-down", "slow-disk"):
+            severity = 0.5 if kind == "slow-disk" else 0.0
+            with pytest.raises(ValueError):
+                FaultSpec(kind=kind, target="backplane", at=0.0,
+                          severity=severity)
+
+    def test_permanent_fault(self):
+        spec = FaultSpec(kind="node-crash", target="node1", at=5.0)
+        assert spec.permanent
+        assert spec.clear_at is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec field"):
+            FaultSpec.from_dict({"kind": "node-crash", "target": "node1",
+                                 "at": 0.0, "blast_radius": 3})
+
+
+class TestFaultPlan:
+    def _plan(self):
+        return FaultPlan(
+            faults=[
+                FaultSpec("link-degrade", "node1", at=2.0, duration=5.0,
+                          severity=0.25),
+                FaultSpec("node-crash", "node2", at=10.0),
+            ],
+            chunk_timeout=8.0,
+            retry_max=5,
+            retry_backoff=0.25,
+            migration_timeout=120.0,
+            horizon=300.0,
+        )
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        assert FaultPlan.from_file(path) == plan
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan field"):
+            FaultPlan.from_dict({"faults": [], "blast_radius": 3})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            FaultPlan(chunk_timeout=0.0)
+        with pytest.raises(ValueError, match="retry_max"):
+            FaultPlan(retry_max=-1)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan(horizon=-5.0)
+
+    def test_apply_to_overrides_only_non_none(self):
+        base = MigrationConfig(push_batch=8)
+        plan = FaultPlan(chunk_timeout=8.0, retry_max=5, retry_backoff=None,
+                         migration_timeout=None, restart_backoff=None)
+        cfg = plan.apply_to(base)
+        assert cfg.chunk_timeout == 8.0
+        assert cfg.retry_max == 5
+        # None leaves the config value alone; unrelated knobs survive.
+        assert cfg.retry_backoff == base.retry_backoff
+        assert cfg.migration_timeout == float("inf")
+        assert cfg.push_batch == 8
+        # The original config is untouched (dataclasses.replace).
+        assert base.chunk_timeout == float("inf")
+
+    def test_plan_is_frozen(self):
+        plan = self._plan()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.horizon = 1.0
+
+
+class TestRandomPlans:
+    TARGETS = ["node1", "node2", "node3"]
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=42, targets=self.TARGETS, n_faults=5)
+        b = FaultPlan.random(seed=42, targets=self.TARGETS, n_faults=5)
+        assert a == b
+
+    def test_different_seeds_differ_in_firing_times(self):
+        a = FaultPlan.random(seed=1, targets=self.TARGETS, n_faults=5)
+        b = FaultPlan.random(seed=2, targets=self.TARGETS, n_faults=5)
+        assert [f.at for f in a.faults] != [f.at for f in b.faults]
+
+    def test_random_faults_are_temporary_and_valid(self):
+        plan = FaultPlan.random(seed=7, targets=self.TARGETS, n_faults=10,
+                                window=(0.0, 20.0), max_duration=5.0)
+        assert len(plan.faults) == 10
+        for f in plan.faults:
+            assert f.kind in KINDS
+            assert f.target in self.TARGETS
+            assert 0.0 <= f.at <= 20.0
+            assert f.duration is not None and 0.5 <= f.duration <= 5.0
+
+    def test_needs_kinds_and_targets(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, targets=[])

@@ -1,0 +1,156 @@
+"""Property-based tests: fault injection cannot break the core invariants.
+
+Two layers get the hypothesis treatment:
+
+* the max-min fair allocator must conserve flow under *any* combination of
+  degraded / zeroed NIC caps (fault injection rescales those caps live, so
+  the allocator sees inputs the hand-written unit tests never tried);
+* random temporary FaultPlans against bystander nodes must never make a
+  *successful* migration deliver a destination disk that disagrees with
+  the source's final chunk versions.
+
+Settings: ``derandomize=True`` keeps CI stable (failures reproduce), and
+``deadline=None`` because one whole-simulation example legitimately takes
+seconds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import CloudMiddleware, Cluster, ClusterSpec
+from repro.core.config import MigrationConfig
+from repro.faults import FaultInjector, FaultPlan
+from repro.netsim.fairness import maxmin_single_switch
+from repro.simkernel import Environment
+from repro.workloads.synthetic import RandomWriter
+
+MB = 2**20
+
+
+# --------------------------------------------------------------------------
+# Flow conservation in the allocator under degraded caps
+# --------------------------------------------------------------------------
+
+@st.composite
+def _allocator_inputs(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=5))
+    n_flows = draw(st.integers(min_value=1, max_value=16))
+    pairs = st.tuples(
+        st.integers(0, n_hosts - 1), st.integers(0, n_hosts - 1)
+    ).filter(lambda p: p[0] != p[1])
+    flows = draw(st.lists(pairs, min_size=n_flows, max_size=n_flows))
+    weights = draw(st.lists(
+        st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+        min_size=n_flows, max_size=n_flows,
+    ))
+    # Caps include exact zeros: a zeroed NIC is what a partitioned or
+    # crashed host looks like to the allocator.
+    cap = st.sampled_from([0.0, 1e6, 12.5e6, 55e6, 117.5e6, 1e9])
+    nic_out = draw(st.lists(cap, min_size=n_hosts, max_size=n_hosts))
+    nic_in = draw(st.lists(cap, min_size=n_hosts, max_size=n_hosts))
+    backplane = draw(st.one_of(
+        st.none(), st.sampled_from([10e6, 100e6, 1e9, 8e9])
+    ))
+    return (
+        np.array(weights),
+        np.array([s for s, _ in flows], dtype=np.intp),
+        np.array([d for _, d in flows], dtype=np.intp),
+        np.array(nic_out),
+        np.array(nic_in),
+        backplane,
+    )
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(_allocator_inputs())
+def test_maxmin_conserves_flow_under_degraded_caps(inputs):
+    weights, srcs, dsts, nic_out, nic_in, backplane = inputs
+    rates = maxmin_single_switch(weights, srcs, dsts, nic_out, nic_in,
+                                 backplane)
+
+    assert (rates >= 0).all(), "negative rate"
+    n_hosts = len(nic_out)
+    egress = np.bincount(srcs, weights=rates, minlength=n_hosts)
+    ingress = np.bincount(dsts, weights=rates, minlength=n_hosts)
+    slack = 1e-6 + 1e-9 * np.maximum(nic_out, nic_in)
+    assert (egress <= nic_out + slack).all(), "egress exceeds NIC cap"
+    assert (ingress <= nic_in + slack).all(), "ingress exceeds NIC cap"
+    if backplane is not None:
+        assert rates.sum() <= backplane + 1e-6 + 1e-9 * backplane
+    # A zeroed cap must pin its flows at exactly zero.
+    dead = (nic_out[srcs] == 0.0) | (nic_in[dsts] == 0.0)
+    assert (rates[dead] == 0.0).all(), "flow through a dead NIC"
+
+
+# --------------------------------------------------------------------------
+# Random FaultPlans vs. migration correctness
+# --------------------------------------------------------------------------
+
+_SPEC = dict(
+    n_nodes=4,
+    nic_bw=100e6,
+    backplane_bw=None,
+    latency=1e-4,
+    disk_bw=55e6,
+    disk_cache_bytes=2 * 2**30,
+    chunk_size=1 * MB,
+    image_size=256 * MB,
+    base_allocated=64 * MB,
+    repo_replication=2,
+)
+
+#: Bystander nodes: repository stripe servers, but neither the migration
+#: source (node0) nor its destination (node1).
+_TARGETS = ["node2", "node3"]
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       n_faults=st.integers(min_value=1, max_value=4))
+def test_random_faults_never_corrupt_successful_migrations(seed, n_faults):
+    plan = FaultPlan.random(
+        seed=seed,
+        targets=_TARGETS,
+        n_faults=n_faults,
+        window=(0.5, 12.0),
+        max_duration=6.0,
+        chunk_timeout=6.0,
+        retry_max=6,
+        retry_backoff=0.25,
+        migration_timeout=120.0,
+        horizon=600.0,
+    )
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(**_SPEC))
+    config = plan.apply_to(MigrationConfig(push_batch=8, pull_batch=8))
+    cloud = CloudMiddleware(cluster, config=config)
+    vm = cloud.deploy("vm0", cluster.node(0), approach="our-approach",
+                      memory_size=256 * MB, working_set=64 * MB)
+    writer = RandomWriter(vm, total_bytes=64 * MB, rate=12e6, op_size=2 * MB,
+                          region_offset=0, region_size=96 * MB, seed=seed)
+    writer.start()
+    FaultInjector(env, cluster, plan).start()
+    out = {}
+
+    def migrator():
+        yield env.timeout(1.0)
+        out["record"] = yield cloud.migrate(vm, cluster.node(1))
+
+    env.process(migrator())
+    env.run(until=plan.horizon)
+
+    record = out.get("record")
+    assert record is not None, "migration hung past the plan horizon"
+    if record.aborted:
+        # Legal outcome: clean abort, VM intact on the source.
+        assert vm.node is cluster.node(0) and not vm.paused
+    else:
+        assert vm.node is cluster.node(1)
+    # Either way: the owning side's chunk versions match the guest's
+    # content clock — no write was lost, no stale chunk adopted.
+    clock = vm.content_clock
+    written = clock > 0
+    np.testing.assert_array_equal(
+        vm.manager.chunks.version[written], clock[written]
+    )

@@ -1,0 +1,144 @@
+"""Golden-fixture generation for the figure reproductions.
+
+Each ``fig*_golden()`` function runs a small but structure-preserving
+variant of one paper figure (fault-free, fixed seed) and reduces the
+outcome to a plain JSON-serializable dict.  The committed fixtures under
+``tests/golden/fixtures/`` pin these numbers: any engine refactor that
+shifts the paper-reproduction results fails ``test_golden_figures.py``.
+
+Regenerate (only after an *intentional* behavior change)::
+
+    PYTHONPATH=src python -m tests.golden.generate
+
+Floats are rounded to 9 significant digits before serialization so the
+comparison is byte-stable without being hostage to sub-nano relative
+float noise across numpy builds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: Golden geometry for fig4: the full figure needs 30 sources to show
+#: backplane contention; pinning engine behavior only needs the
+#: concurrent-migration structure, so the fleet is shrunk.
+FIG4_LEVELS = (1, 2)
+FIG4_SOURCES = 4
+
+
+def _round(node):
+    """Round every float to 9 significant digits, recursively."""
+    if isinstance(node, float):
+        return float(f"{node:.9g}")
+    if isinstance(node, dict):
+        return {k: _round(v) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_round(v) for v in node]
+    return node
+
+
+def canonical_json(obj) -> str:
+    return json.dumps(_round(obj), indent=2, sort_keys=True) + "\n"
+
+
+def _outcome_digest(outcome) -> dict:
+    """The ScenarioOutcome fields the figures consume."""
+    return {
+        "migration_times": list(outcome.migration_times),
+        "downtimes": list(outcome.downtimes),
+        "total_traffic": outcome.total_traffic(),
+        "migration_traffic": outcome.migration_traffic,
+        "read_throughput": outcome.read_throughput,
+        "write_throughput": outcome.write_throughput,
+        "window_write_rate": outcome.window_write_rate,
+        "workload_elapsed": outcome.workload_elapsed,
+    }
+
+
+def fig2_golden() -> dict:
+    from repro.experiments.fig2 import run_fig2
+
+    record, stats, traffic = run_fig2("our-approach", seed=0)
+    return {
+        "phases": [[name, start, end] for name, start, end in record.phases],
+        "control_at": record.control_at,
+        "released_at": record.released_at,
+        "downtime": record.downtime,
+        "memory_rounds": record.memory_rounds,
+        "memory_bytes": record.memory_bytes,
+        "stats": stats,
+        "traffic_by_tag": dict(traffic),
+    }
+
+
+def fig3_golden() -> dict:
+    from repro.experiments.fig3 import run_fig3
+
+    results = run_fig3(quick=True, seed=0)
+    return {
+        workload: {
+            approach: _outcome_digest(outcome)
+            for approach, outcome in per_approach.items()
+        }
+        for workload, per_approach in results.items()
+    }
+
+
+def fig4_golden() -> dict:
+    from repro.experiments.fig4 import run_fig4
+
+    results = run_fig4(
+        levels=FIG4_LEVELS, n_sources=FIG4_SOURCES, quick=True, seed=0
+    )
+    return {
+        approach: {
+            str(n): {
+                "outcome": _outcome_digest(outcome),
+                "degradation": outcome.degradation_vs(baseline),
+            }
+            for n, (outcome, baseline) in per_level.items()
+        }
+        for approach, per_level in results.items()
+    }
+
+
+def fig5_golden() -> dict:
+    from repro.experiments.fig5 import run_fig5
+
+    results = run_fig5(quick=True, seed=0)
+    return {
+        approach: {
+            str(n): {
+                "cumulated_migration_time": outcome.cumulated_migration_time,
+                "migration_traffic": outcome.migration_traffic,
+                "elapsed_increase": (
+                    outcome.workload_elapsed - baseline.workload_elapsed
+                ),
+            }
+            for n, (outcome, baseline) in per_count.items()
+        }
+        for approach, per_count in results.items()
+    }
+
+
+GOLDENS = {
+    "fig2": fig2_golden,
+    "fig3": fig3_golden,
+    "fig4": fig4_golden,
+    "fig5": fig5_golden,
+}
+
+
+def main() -> None:
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    for name, build in GOLDENS.items():
+        path = FIXTURES / f"{name}.json"
+        path.write_text(canonical_json(build()))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Golden regression: the figure reproductions must not drift.
+
+The fixtures were generated on the pre-fault-injection engines; the
+fault-injection refactor (timeouts, retries, abort plumbing) must be
+behavior-neutral for fault-free runs, and any future engine change that
+shifts the paper numbers must be an explicit decision (regenerate with
+``PYTHONPATH=src python -m tests.golden.generate`` and commit the diff).
+"""
+
+import pytest
+
+from tests.golden.generate import FIXTURES, GOLDENS, canonical_json
+
+
+@pytest.mark.parametrize("figure", sorted(GOLDENS))
+def test_figure_matches_golden(figure):
+    path = FIXTURES / f"{figure}.json"
+    assert path.exists(), (
+        f"missing fixture {path}; generate with "
+        "'PYTHONPATH=src python -m tests.golden.generate'"
+    )
+    expected = path.read_text()
+    actual = canonical_json(GOLDENS[figure]())
+    assert actual == expected, (
+        f"{figure} output drifted from the committed golden fixture. "
+        "If the change is intentional, regenerate with "
+        "'PYTHONPATH=src python -m tests.golden.generate' and commit."
+    )
