@@ -1,0 +1,72 @@
+"""Meta-benchmarks: the flight-recorder analyzer and report renderer.
+
+Companion to ``bench_simulator.py``: where that file times the simulator
+itself, this one times what happens *after* a run — ingesting a traced
+migration's event stream, deriving the attribution/phase/heatmap
+summary, and rendering the HTML report.  The trace is produced once per
+session (a real hybrid migration under write pressure) and shared.
+"""
+
+import pytest
+
+MB = 2**20
+
+
+@pytest.fixture(scope="module")
+def traced_events():
+    """Chrome-trace events from one traced hybrid migration."""
+    from repro.cluster import CloudMiddleware, Cluster
+    from repro.experiments.config import graphene_spec
+    from repro.obs import Observability
+    from repro.obs.export import chrome_trace
+    from repro.simkernel import Environment
+    from repro.workloads.synthetic import SequentialWriter
+
+    obs = Observability(trace=True)
+    with obs.run_scope("bench/report"):
+        env = Environment()
+        obs.install(env)
+        cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
+        vm = cloud.deploy("vm0", cloud.cluster.node(0), working_set=128 * MB)
+        SequentialWriter(
+            vm, total_bytes=256 * MB, rate=60e6, op_size=4 * MB,
+            region_offset=1024 * MB, region_size=256 * MB,
+        ).start()
+        done = {}
+
+        def migrator():
+            yield env.timeout(2.0)
+            done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+        env.process(migrator())
+        env.run()
+        obs.note_traffic(cloud.cluster.fabric.meter)
+    return chrome_trace(obs.tracer)["traceEvents"]
+
+
+def test_analyze_trace(benchmark, traced_events):
+    """Full analysis pass: attribution + phases + heatmap per run."""
+    from repro.obs.analyze import analyze_events
+
+    summary = benchmark(analyze_events, traced_events)
+    assert summary["conservation_ok"]
+    assert summary["runs"]
+
+
+def test_summary_json(benchmark, traced_events):
+    """Deterministic JSON encoding of the summary."""
+    from repro.obs.analyze import analyze_events, summary_json
+
+    summary = analyze_events(traced_events)
+    text = benchmark(summary_json, summary)
+    assert text == summary_json(summary)  # stable across calls
+
+
+def test_render_html(benchmark, traced_events):
+    """Self-contained HTML report generation (inline SVG charts)."""
+    from repro.obs.analyze import analyze_events, render_html
+
+    summary = analyze_events(traced_events)
+    html = benchmark(render_html, summary)
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html

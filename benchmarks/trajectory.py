@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Benchmark trajectory harness: track simulator performance over time.
+
+Unlike the pytest-benchmark suites (``bench_simulator.py``,
+``bench_report.py``) this is a plain script with no test-framework
+dependency, so CI can run it directly and keep a machine-readable
+history.  Each invocation
+
+* runs a fixed set of simulator scenarios (event-loop ticker, fluid
+  share churn, max-min recomputation, one end-to-end hybrid migration),
+  measuring wall-clock, events processed (the kernel's lifetime
+  ``Environment.events_processed`` counter) and peak RSS;
+* runs one *traced* fig2 migration, feeds the trace to
+  ``repro.obs.analyze`` and fails (exit 1) unless every run's per-cause
+  bytes conserve exactly against the TrafficMeter total;
+* appends one entry to ``BENCH_simulator.json`` (a JSON array at the
+  repo root by default) so successive runs form a trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py --quick \
+        --report report.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if "repro" not in sys.modules:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.simkernel import Environment  # noqa: E402
+
+SCHEMA = "repro.bench/1"
+MB = 2**20
+
+
+def _peak_rss_kb() -> int | None:
+    """Peak resident set size of this process, in KiB (None off-Linux)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return rss // 1024 if sys.platform == "darwin" else rss
+
+
+def scenario_event_loop(quick: bool):
+    """Ping-pong timeout chains: pure kernel overhead per event."""
+    ticks = 1000 if quick else 5000
+    env = Environment()
+
+    def ticker():
+        for _ in range(ticks):
+            yield env.timeout(1.0)
+
+    for _ in range(4):
+        env.process(ticker())
+    env.run()
+    assert env.now == float(ticks)
+    return env.now, env.events_processed
+
+
+def scenario_fluid_churn(quick: bool):
+    """Arrivals/departures on one fluid resource (disk model hot path)."""
+    from repro.simkernel.fluid import FluidShare
+
+    ops = 150 if quick else 500
+    env = Environment()
+    share = FluidShare(env, capacity=1e6)
+
+    def spawner():
+        for i in range(ops):
+            share.transfer(1e4 + (i % 7) * 1e3)
+            yield env.timeout(0.003)
+
+    env.process(spawner())
+    env.run()
+    assert share.total_bytes > 0
+    return share.total_bytes, env.events_processed
+
+
+def scenario_maxmin(quick: bool):
+    """Repeated rate recomputations at fig4 scale (60 hosts, 90 flows)."""
+    from repro.netsim.fairness import maxmin_single_switch
+
+    rounds = 50 if quick else 500
+    rng = np.random.default_rng(1)
+    n_hosts, n_flows = 60, 90
+    srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
+    dsts = (srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
+    weights = rng.uniform(0.5, 4.0, n_flows)
+    nic = np.full(n_hosts, 117.5e6)
+    rates = None
+    for _ in range(rounds):
+        rates = maxmin_single_switch(weights, srcs, dsts, nic, nic, 2.5e9)
+    assert rates is not None and (rates > 0).all()
+    return float(rates.sum()), rounds
+
+
+def scenario_migration(quick: bool):
+    """A complete hybrid migration under write pressure."""
+    from repro.cluster import CloudMiddleware, Cluster
+    from repro.experiments.config import graphene_spec
+    from repro.workloads.synthetic import SequentialWriter
+
+    ws = (64 if quick else 256) * MB
+    total = (128 if quick else 512) * MB
+    env = Environment()
+    cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
+    vm = cloud.deploy("vm0", cloud.cluster.node(0), working_set=ws)
+    SequentialWriter(
+        vm, total_bytes=total, rate=60e6, op_size=4 * MB,
+        region_offset=1024 * MB, region_size=total,
+    ).start()
+    done = {}
+
+    def migrator():
+        yield env.timeout(2.0)
+        done["rec"] = yield cloud.migrate(vm, cloud.cluster.node(1))
+
+    env.process(migrator())
+    env.run()
+    assert done["rec"].migration_time > 0
+    return done["rec"].migration_time, env.events_processed
+
+
+SCENARIOS = [
+    ("event_loop", scenario_event_loop),
+    ("fluid_share_churn", scenario_fluid_churn),
+    ("maxmin_fast_path", scenario_maxmin),
+    ("end_to_end_migration", scenario_migration),
+]
+
+
+def traced_fig2(report_path: str | None):
+    """One traced fig2 run through the analyzer; returns (summary, stats)."""
+    from repro.experiments.fig2 import run_fig2
+    from repro.obs import Observability
+    from repro.obs.analyze import analyze_tracer, render_html
+
+    obs = Observability(trace=True)
+    t0 = time.perf_counter()
+    record, _stats, _traffic = run_fig2(obs=obs)
+    run_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    summary = analyze_tracer(obs.tracer)
+    analyze_wall = time.perf_counter() - t0
+
+    if report_path:
+        path = pathlib.Path(report_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(summary))
+        print(f"wrote {path}", file=sys.stderr)
+    return summary, {
+        "migration_time_s": record.migration_time,
+        "run_wall_s": run_wall,
+        "analyze_wall_s": analyze_wall,
+        "trace_events": sum(r["events"] for r in summary["runs"]),
+    }
+
+
+def _git_head() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:  # pragma: no cover - no git in PATH
+        return None
+
+
+def run_trajectory(quick: bool, report: str | None) -> dict:
+    entry = {
+        "schema": SCHEMA,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git": _git_head(),
+        "scenarios": [],
+    }
+    for name, fn in SCENARIOS:
+        t0 = time.perf_counter()
+        _result, events = fn(quick)
+        wall = time.perf_counter() - t0
+        entry["scenarios"].append({
+            "name": name,
+            "wall_s": round(wall, 6),
+            "events": events,
+            "events_per_s": round(events / wall, 1) if wall > 0 else None,
+            "peak_rss_kb": _peak_rss_kb(),
+        })
+        print(f"  {name:24s} {wall:8.3f} s   {events:>9} events")
+
+    summary, fig2_stats = traced_fig2(report)
+    entry["conservation_ok"] = summary["conservation_ok"]
+    entry["scenarios"].append({
+        "name": "traced_fig2_analyze",
+        "wall_s": round(fig2_stats["run_wall_s"] + fig2_stats["analyze_wall_s"], 6),
+        "analyze_wall_s": round(fig2_stats["analyze_wall_s"], 6),
+        "events": fig2_stats["trace_events"],
+        "migration_time_s": round(fig2_stats["migration_time_s"], 6),
+        "peak_rss_kb": _peak_rss_kb(),
+    })
+    print(f"  {'traced_fig2_analyze':24s} "
+          f"{fig2_stats['run_wall_s'] + fig2_stats['analyze_wall_s']:8.3f} s   "
+          f"{fig2_stats['trace_events']:>9} events")
+    print(f"  conservation: {'exact' if entry['conservation_ok'] else 'FAILED'}")
+    return entry
+
+
+def append_entry(out_path: pathlib.Path, entry: dict) -> None:
+    history = []
+    if out_path.exists():
+        try:
+            history = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {out_path} was not valid JSON; starting fresh",
+                  file=sys.stderr)
+        if not isinstance(history, list):
+            history = []
+    history.append(entry)
+    out_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced geometry for a fast CI run")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "BENCH_simulator.json"),
+                        help="trajectory file to append to "
+                             "(default: BENCH_simulator.json at repo root)")
+    parser.add_argument("--report", metavar="OUT.html", default=None,
+                        help="also write the traced run's HTML flight report")
+    args = parser.parse_args(argv)
+
+    print(f"trajectory ({'quick' if args.quick else 'full'} mode):")
+    entry = run_trajectory(args.quick, args.report)
+    out_path = pathlib.Path(args.out)
+    append_entry(out_path, entry)
+    print(f"appended entry to {out_path}", file=sys.stderr)
+    if not entry["conservation_ok"]:
+        print("error: byte-attribution conservation check failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

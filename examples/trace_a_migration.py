@@ -10,7 +10,10 @@ downtime window, repository stripe fetches.  This example:
 1. runs one hybrid migration under IOR pressure with tracing on,
 2. writes a Chrome trace-event file (open it at https://ui.perfetto.dev)
    and a metrics JSON dump,
-3. prints the headline numbers straight from the in-memory objects.
+3. prints the headline numbers straight from the in-memory objects,
+4. feeds the trace to ``repro.obs.analyze`` and prints the per-cause
+   byte attribution — *why* each byte crossed the wire — plus the
+   conservation check against the TrafficMeter total.
 
 Run:  python examples/trace_a_migration.py
 """
@@ -74,6 +77,26 @@ def main() -> None:
     assert doc["traceEvents"], "trace round-trips through json"
     print(f"trace file holds {len(doc['traceEvents'])} events "
           "(load it in Perfetto for the timeline view)")
+    print()
+
+    # -- the analyzer: why each byte crossed the wire --------------------
+    from repro.obs.analyze import analyze_file, render_html
+    from repro.obs.analyze.report import cause_table
+
+    summary = analyze_file(trace_path)
+    run = summary["runs"][0]
+    print(f"byte attribution for run {run['label']!r}:")
+    print(f"  {'cause':14s} {'bytes':>14s} {'share':>7s} {'flows':>6s}")
+    for cause, nbytes, share, flows, _busy in cause_table(run):
+        print(f"  {cause:14s} {nbytes:14,.0f} {100 * share:6.1f}% {flows:6d}")
+    cons = run["attribution"]["metered"]["conservation"]
+    status = "exact" if cons["exact"] else "VIOLATED"
+    print(f"  conservation   {status}: causes sum to "
+          f"{cons['total_bytes']:,.0f} bytes metered")
+
+    report_path = outdir / "flight-report.html"
+    report_path.write_text(render_html(summary))
+    print(f"  HTML report    : {report_path}")
 
 
 if __name__ == "__main__":

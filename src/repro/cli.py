@@ -11,6 +11,7 @@ Python::
     python -m repro.cli fig5 [--quick] [--grid 8x8]
     python -m repro.cli single --approach our-approach --workload ior
     python -m repro.cli compare --workload asyncwr
+    python -m repro.cli analyze trace.json [--json out.json] [--html out.html]
 """
 
 from __future__ import annotations
@@ -43,6 +44,11 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         help="'full' additionally records high-frequency events "
              "(process resumes, control messages)",
     )
+    p.add_argument(
+        "--report", metavar="OUT.html", default=None,
+        help="analyze the run's trace and write a self-contained HTML "
+             "report (implies tracing, even without --trace)",
+    )
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -71,12 +77,13 @@ def _make_obs(args):
     """An Observability bundle when any export flag was given, else None."""
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if trace is None and metrics_out is None:
+    report = getattr(args, "report", None)
+    if trace is None and metrics_out is None and report is None:
         return None
     from repro.obs import Observability
 
     return Observability(
-        trace=trace is not None,
+        trace=trace is not None or report is not None,
         metrics=metrics_out is not None,
         detail=args.trace_detail,
     )
@@ -86,9 +93,23 @@ def _write_obs(obs, args) -> None:
     if obs is None:
         return
     obs.write(trace_path=args.trace, metrics_path=args.metrics_out)
-    for path in (args.trace, args.metrics_out):
-        if path:
-            print(f"wrote {path}", file=sys.stderr)
+    written = [p for p in (args.trace, args.metrics_out) if p]
+    report = getattr(args, "report", None)
+    if report is not None:
+        import pathlib
+
+        from repro.obs.analyze import analyze_tracer, render_html
+
+        summary = analyze_tracer(obs.tracer)
+        path = pathlib.Path(report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(summary))
+        written.append(report)
+        if not summary["conservation_ok"]:
+            print("warning: byte-attribution conservation check failed",
+                  file=sys.stderr)
+    for path in written:
+        print(f"wrote {path}", file=sys.stderr)
 
 
 def _parse_grid(text: str) -> tuple[int, int]:
@@ -149,16 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(compare)
     _add_fault_flags(compare)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="derive per-cause attribution, phase timelines and the chunk "
+             "heatmap from a recorded trace",
+    )
+    analyze.add_argument("trace_file", metavar="TRACE.json",
+                         help="trace written by --trace (.json or .jsonl)")
+    analyze.add_argument("--json", metavar="OUT.json", default=None,
+                         help="write the deterministic JSON summary")
+    analyze.add_argument("--html", metavar="OUT.html", default=None,
+                         help="write the self-contained HTML report")
+    analyze.add_argument("--check", action="store_true",
+                         help="exit non-zero unless every run's byte "
+                              "attribution conserves exactly")
+
     return parser
 
 
-def _outcome_row(outcome) -> list[float]:
+def _cmd_analyze(args) -> int:
+    from repro.obs.analyze import (
+        analyze_file,
+        render_html,
+        render_text,
+        write_summary_json,
+    )
+
+    summary = analyze_file(args.trace_file)
+    print(render_text(summary))
+    if args.json is not None:
+        write_summary_json(summary, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.html is not None:
+        import pathlib
+
+        path = pathlib.Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(summary))
+        print(f"wrote {args.html}", file=sys.stderr)
+    if args.check and not summary["conservation_ok"]:
+        print("conservation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _outcome_row(outcome) -> list:
     # Under fault injection a migration may abort (or still be in flight
-    # at the plan horizon): report NaN for the migration time then.
+    # at the plan horizon): name the outcome instead of printing NaN.
     if len(outcome.migration_times) == 1:
         mig_time = outcome.migration_times[0]
+    elif outcome.aborts:
+        retries = max(outcome.aborts - 1, 0)
+        mig_time = f"aborted ({retries} retr{'y' if retries == 1 else 'ies'})"
     else:
-        mig_time = float("nan")
+        mig_time = "incomplete"
     return [
         mig_time,
         outcome.total_traffic() / 2**20,
@@ -199,6 +264,8 @@ def _cmd_compare(args, obs=None) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     obs = _make_obs(args)
     if args.command == "table1":
         from repro.experiments.table1 import render_table1

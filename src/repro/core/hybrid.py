@@ -37,7 +37,23 @@ from repro.core.manager import MigrationManager
 from repro.simkernel.core import Event
 from repro.simkernel.events import Interrupt
 
-__all__ = ["HybridManager"]
+__all__ = ["HybridManager", "FATE_NAMES"]
+
+#: Final transfer fate of a chunk (destination side, last writer wins).
+#: 0 = never transferred; the rest feed the write-count × fate heatmap
+#: that explains the Threshold cutoff (repro.obs.analyze.heatmap).
+_FATE_PUSHED = 1
+_FATE_PREFETCHED = 2
+_FATE_ONDEMAND = 3
+_FATE_CANCELLED = 4
+FATE_NAMES = {
+    _FATE_PUSHED: "pushed",
+    _FATE_PREFETCHED: "prefetched",
+    _FATE_ONDEMAND: "ondemand",
+    _FATE_CANCELLED: "cancelled",
+}
+#: Write counts at or above the cap share one "N+" heatmap row.
+_WC_CAP = 8
 
 
 class HybridManager(MigrationManager):
@@ -66,6 +82,8 @@ class HybridManager(MigrationManager):
         self._ondemand_depth = 0
         self._pull_resume: Event | None = None
         self._pull_proc = None
+        #: Destination-side per-chunk transfer fate (see FATE_NAMES).
+        self._fate = np.zeros(n, dtype=np.int8)
         #: Push/pull engine statistics (exposed for tests and ablations).
         self.stats = {
             "pushed_chunks": 0,
@@ -192,7 +210,8 @@ class HybridManager(MigrationManager):
                     self.vdisk.load(batch),
                     self.pagecache.read(nbytes),
                     self.fabric.transfer(
-                        self.host, peer.host, wire, tag="storage-push"
+                        self.host, peer.host, wire, tag="storage-push",
+                        cause="push",
                     ),
                     peer.pagecache.write(nbytes),
                     *extra,
@@ -206,6 +225,7 @@ class HybridManager(MigrationManager):
                 return
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
+            peer._fate[batch] = _FATE_PUSHED
             self.stats["pushed_chunks"] += int(batch.size)
             tr = self.env.tracer
             if tr.enabled:
@@ -369,7 +389,7 @@ class HybridManager(MigrationManager):
                     continue
                 break
             t0 = self.env.now
-            ok = yield from self._pull(batch, weight=1.0)
+            ok = yield from self._pull(batch, weight=1.0, cause="prefetch")
             if not ok:
                 # The source became unreachable after control transfer —
                 # the unsafe corner of the scheme (paper, Section 6).
@@ -392,8 +412,12 @@ class HybridManager(MigrationManager):
             self._note_queue_depth(int(self.pull_pending.sum()))
         yield from self._finish_migration()
 
-    def _pull(self, batch: np.ndarray, weight: float) -> Generator:
+    def _pull(self, batch: np.ndarray, weight: float,
+              cause: str = "prefetch") -> Generator:
         """Pull ``batch`` from the passive source.
+
+        ``cause`` attributes the moved bytes: ``prefetch`` for the
+        background engine, ``pull.demand`` for priority reads.
 
         Returns ``True`` when the data landed, ``False`` when the
         request or the transfer stalled past the retry budget (source
@@ -421,12 +445,13 @@ class HybridManager(MigrationManager):
         wire, extra = self._wire_events(src, batch, versions, nbytes)
 
         def batch_events(src=src, batch=batch, nbytes=nbytes,
-                         wire=wire, extra=extra, weight=weight):
+                         wire=wire, extra=extra, weight=weight, cause=cause):
             return [
                 src.vdisk.load(batch),
                 src.pagecache.read(nbytes),
                 self.fabric.transfer(
-                    src.host, self.host, wire, tag="storage-pull", weight=weight
+                    src.host, self.host, wire, tag="storage-pull",
+                    weight=weight, cause=cause,
                 ),
                 self.pagecache.write(nbytes),
                 *extra,
@@ -442,6 +467,9 @@ class HybridManager(MigrationManager):
         self.stats["cancelled_pulls"] += int(batch.size - alive.size)
         if alive.size:
             self.receive_chunks(alive, src.chunks.version[alive].copy())
+            self._fate[alive] = (
+                _FATE_ONDEMAND if cause == "pull.demand" else _FATE_PREFETCHED
+            )
         for c in batch:
             self._pull_inflight.pop(int(c), None)
         arrival.succeed()
@@ -470,6 +498,7 @@ class HybridManager(MigrationManager):
             killed = int(self.pull_pending[span].sum())
             if killed:
                 mx.counter("pull.cancelled.chunks").inc(killed)
+        self._fate[span[self.pull_pending[span]]] = _FATE_CANCELLED
         self.pull_pending[span] = False
         self._pull_cancelled[span] = True
 
@@ -493,7 +522,8 @@ class HybridManager(MigrationManager):
             t0 = self.env.now
             try:
                 ok = yield from self._pull(
-                    needed, weight=self.config.ondemand_weight
+                    needed, weight=self.config.ondemand_weight,
+                    cause="pull.demand",
                 )
                 if not ok:
                     from repro.core.manager import ChunkTransferStalled
@@ -523,6 +553,25 @@ class HybridManager(MigrationManager):
             if not ev.processed:
                 yield ev
 
+    def _chunk_fate_cells(self, src: "HybridManager") -> list[list]:
+        """Aggregate (write count × transfer fate) over transferred chunks.
+
+        Write counts are the source's Algorithm 2 counts (what the
+        Threshold compares against); counts at or above ``_WC_CAP`` fold
+        into one "N+" row.  Returns deterministic sorted
+        ``[write_count, fate, chunks]`` cells.
+        """
+        mask = self._fate != 0
+        ids = np.flatnonzero(mask)
+        if ids.size == 0:
+            return []
+        wc = np.minimum(src.chunks.write_count[ids], _WC_CAP)
+        cells: dict[tuple[int, str], int] = {}
+        for w, f in zip(wc, self._fate[ids]):
+            key = (int(w), FATE_NAMES[int(f)])
+            cells[key] = cells.get(key, 0) + 1
+        return [[w, name, n] for (w, name), n in sorted(cells.items())]
+
     def _finish_migration(self) -> Generator:
         """All chunks local: notify the source it can be relinquished."""
         src = self.peer
@@ -531,6 +580,12 @@ class HybridManager(MigrationManager):
         if tr.enabled:
             tr.instant("pull.drained", cat="storage",
                        tid=f"pull:{self.vm.name}")
+            tr.instant("chunks.fate", cat="storage",
+                       tid=f"pull:{self.vm.name}",
+                       args={"vm": self.vm.name,
+                             "threshold": self.config.threshold,
+                             "wc_cap": _WC_CAP,
+                             "cells": self._chunk_fate_cells(src)})
         # Best effort: if the source is unreachable the data is all here
         # anyway; release locally so the migration record completes.
         yield from self._message_attempts(

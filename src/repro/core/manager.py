@@ -205,7 +205,13 @@ class MigrationManager:
             return True
         delay = cfg.retry_backoff
         for attempt in range(cfg.retry_max + 1):
-            events = make_events()
+            if attempt == 0:
+                events = make_events()
+            else:
+                # Re-sent bytes are waste the first attempt already paid
+                # for; attribute them to the retry, not the strategy.
+                with self.fabric.cause_scope(f"retry.{label}"):
+                    events = make_events()
             done = self.env.all_of(events)
             yield self.env.any_of([done, self.env.timeout(cfg.chunk_timeout)])
             if done.triggered:
@@ -234,7 +240,11 @@ class MigrationManager:
             return True
         delay = cfg.retry_backoff
         for attempt in range(cfg.retry_max + 1):
-            ev = make_message()
+            if attempt == 0:
+                ev = make_message()
+            else:
+                with self.fabric.cause_scope(f"retry.{label}"):
+                    ev = make_message()
             yield self.env.any_of([ev, self.env.timeout(cfg.chunk_timeout)])
             if ev.triggered:
                 return True
@@ -261,7 +271,11 @@ class MigrationManager:
         attempt = 0
         while True:
             try:
-                ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
+                if attempt == 0:
+                    ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
+                else:
+                    with self.fabric.cause_scope(f"retry.{tag}"):
+                        ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
             except RepositoryUnavailable:
                 mx = self.env.metrics
                 if mx.enabled:

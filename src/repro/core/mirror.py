@@ -67,7 +67,8 @@ class MirrorManager(MigrationManager):
                     self.vdisk.load(batch),
                     self.pagecache.read(nbytes),
                     self.fabric.transfer(
-                        self.host, peer.host, nbytes, tag="storage-push"
+                        self.host, peer.host, nbytes, tag="storage-push",
+                        cause="push"
                     ),
                     peer.pagecache.write(nbytes),
                 ]
@@ -103,7 +104,8 @@ class MirrorManager(MigrationManager):
             ok = yield from self._transfer_attempts(
                 lambda: [
                     self.fabric.transfer(
-                        self.host, peer.host, float(nbytes), tag="storage-mirror"
+                        self.host, peer.host, float(nbytes), tag="storage-mirror",
+                        cause="mirror"
                     )
                 ],
                 "mirror-write",

@@ -129,7 +129,8 @@ class PrecopyManager(MigrationManager):
                         nbytes * self.write_amplification, weight=self.write_weight
                     ),
                     self.fabric.transfer(
-                        self.host, peer.host, nbytes, tag="storage-push"
+                        self.host, peer.host, nbytes, tag="storage-push",
+                        cause="push"
                     ),
                     peer.pagecache.write(nbytes),
                 ]
@@ -225,6 +226,7 @@ class PrecopyManager(MigrationManager):
                     self.peer.host,
                     float(ids.size * self.chunk_size),
                     tag="storage-push",
+                    cause="push",
                 )
             ],
             "precopy-final",

@@ -21,7 +21,10 @@ class SeriesResult:
         self.y.append(y)
 
 
-def _fmt(v: float) -> str:
+def _fmt(v) -> str:
+    # String cells pass through verbatim (e.g. "aborted (2 retries)").
+    if isinstance(v, str):
+        return v
     if v == 0:
         return "0"
     if abs(v) >= 1000:
@@ -34,21 +37,25 @@ def _fmt(v: float) -> str:
 def render_table(
     title: str,
     columns: Sequence[str],
-    rows: Mapping[str, Sequence[float]],
+    rows: Mapping[str, Sequence[object]],
     unit: str = "",
 ) -> str:
     """A bar-chart figure as text: one row per approach, one column per
-    benchmark (the shape of Figure 3's grouped bars)."""
+    benchmark (the shape of Figure 3's grouped bars).  Cells are numbers,
+    or pre-rendered strings for non-numeric outcomes."""
     width = max([len(r) for r in rows] + [len("approach")]) + 2
-    colw = max([len(c) for c in columns] + [10]) + 2
+    cells = {name: [_fmt(v) for v in values] for name, values in rows.items()}
+    colw = max(
+        [len(c) for c in columns]
+        + [len(c) for row in cells.values() for c in row]
+        + [10]
+    ) + 2
     out = [f"== {title}" + (f" [{unit}]" if unit else "")]
     header = "approach".ljust(width) + "".join(c.rjust(colw) for c in columns)
     out.append(header)
     out.append("-" * len(header))
-    for name, values in rows.items():
-        out.append(
-            name.ljust(width) + "".join(_fmt(v).rjust(colw) for v in values)
-        )
+    for name, row in cells.items():
+        out.append(name.ljust(width) + "".join(c.rjust(colw) for c in row))
     return "\n".join(out)
 
 

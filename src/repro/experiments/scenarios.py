@@ -61,6 +61,10 @@ class ScenarioOutcome:
     #: Per-VM workload completion times (multi-VM scenarios).
     elapsed_each: list[float] = field(default_factory=list)
     counters: int = 0
+    #: Migration attempts that aborted (fault injection); with restarts,
+    #: each re-issued attempt gets its own record, so retries = aborts - 1
+    #: when nothing ever completed.
+    aborts: int = 0
 
     def degradation_vs(self, baseline: "ScenarioOutcome") -> float:
         """Mean relative increase in per-VM completion time (fraction) —
@@ -225,6 +229,7 @@ def run_single_migration(
         outcome.traffic_by_tag = cloud.cluster.fabric.meter.by_tag()
         outcome.read_throughput = wl.read_throughput()
         outcome.write_throughput = wl.write_throughput()
+        outcome.aborts = sum(1 for r in cloud.collector.records if r.aborted)
         records = cloud.collector.completed()
         if records:
             rec = records[0]

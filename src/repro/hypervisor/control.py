@@ -133,7 +133,8 @@ class LiveMigration:
         pause_at = env.now
         yield from vm.drain_io()
         downtime_bytes = (residual or 0) + self.DEVICE_STATE_BYTES
-        yield self.fabric.transfer(src_host, dst_host, downtime_bytes, tag="memory")
+        yield self.fabric.transfer(src_host, dst_host, downtime_bytes,
+                                   tag="memory", cause="memory")
         stats.bytes_sent += downtime_bytes
         yield from src_mgr.on_downtime()
 

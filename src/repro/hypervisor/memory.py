@@ -106,7 +106,7 @@ class PrecopyMemory:
             # Re-sent pages (every round after the first) delta-compress.
             wire = remaining if stats.rounds == 1 else remaining / self.delta_ratio
             t0 = env.now
-            yield fabric.transfer(src, dst, wire, tag="memory")
+            yield fabric.transfer(src, dst, wire, tag="memory", cause="memory")
             tr = env.tracer
             if tr.enabled:
                 tr.complete("memory.round", t0, env.now, cat="memory",
@@ -248,7 +248,7 @@ class PostcopyMemory:
         nbytes = max(vm.working_set - self.bootstrap_bytes, 0.0)
         if nbytes > 0:
             t0 = env.now
-            yield fabric.transfer(src, dst, nbytes, tag="memory")
+            yield fabric.transfer(src, dst, nbytes, tag="memory", cause="memory")
             tr = env.tracer
             if tr.enabled:
                 tr.complete("memory.postcopy", t0, env.now, cat="memory",

@@ -161,7 +161,7 @@ class PageLevelPrecopyMemory:
             stats.rounds += 1
             wire = remaining if stats.rounds == 1 else remaining / self.delta_ratio
             t0 = env.now
-            yield fabric.transfer(src, dst, wire, tag="memory")
+            yield fabric.transfer(src, dst, wire, tag="memory", cause="memory")
             dur = env.now - t0
             stats.bytes_sent += wire
             stats.round_durations.append(dur)

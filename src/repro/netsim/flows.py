@@ -15,6 +15,7 @@ competing for NICs and the backplane.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -36,8 +37,8 @@ _MIN_ETA = 1e-9
 class NetFlow:
     """One in-flight bulk transfer."""
 
-    __slots__ = ("src", "dst", "tag", "weight", "nbytes", "remaining", "rate",
-                 "done", "started_at", "_accounted")
+    __slots__ = ("src", "dst", "tag", "cause", "weight", "nbytes", "remaining",
+                 "rate", "done", "started_at", "_accounted")
 
     def __init__(
         self,
@@ -47,10 +48,12 @@ class NetFlow:
         nbytes: float,
         tag: str,
         weight: float,
+        cause: Optional[str] = None,
     ):
         self.src = src
         self.dst = dst
         self.tag = tag
+        self.cause = cause if cause is not None else tag
         self.weight = float(weight)
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
@@ -97,6 +100,32 @@ class Fabric:
         self._flows: list[NetFlow] = []
         self._last_update = env.now
         self._wakeup_token = 0
+        self._cause_override: list[str] = []
+
+    @contextmanager
+    def cause_scope(self, cause: str):
+        """Attribute every transfer/message *created* inside the scope to
+        ``cause`` — even calls passing an explicit cause of their own.
+
+        Retry machinery uses this: a retried batch re-runs the same
+        closures as the first attempt (which label their flows ``push``,
+        ``prefetch``, ...), so the override — rather than a parameter
+        threaded through every closure — marks the re-sent bytes as
+        ``retry.<label>``.  Only flow *creation* is scoped; a flow keeps
+        its cause for its whole lifetime.
+        """
+        self._cause_override.append(cause)
+        try:
+            yield
+        finally:
+            self._cause_override.pop()
+
+    def _resolve_cause(self, cause: Optional[str], tag: str) -> str:
+        if self._cause_override:
+            return self._cause_override[-1]
+        if cause is not None:
+            return cause
+        return tag
 
     # -- public ------------------------------------------------------------
     @property
@@ -136,24 +165,30 @@ class Fabric:
         nbytes: float,
         tag: str = "data",
         weight: float = 1.0,
+        cause: Optional[str] = None,
     ) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst`` as a fluid flow.
 
         Returns an event that fires (with the elapsed duration as value)
         when the last byte has arrived.  Loopback transfers (``src is dst``)
         complete immediately and generate no traffic.
+
+        ``cause`` labels *why* the bytes move (``push``, ``prefetch``,
+        ``pull.demand``, ...); it defaults to the innermost
+        :meth:`cause_scope` override, then to the tag itself.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if weight <= 0:
             raise ValueError("weight must be positive")
+        cause = self._resolve_cause(cause, tag)
         if src is dst:
             ev = Event(self.env)
             ev.succeed(0.0)
             return ev
         if src.failed or dst.failed:
-            return self._black_hole(src, dst, tag)
-        flow = NetFlow(self.env, src, dst, nbytes, tag, weight)
+            return self._black_hole(src, dst, tag, cause)
+        flow = NetFlow(self.env, src, dst, nbytes, tag, weight, cause)
         if nbytes == 0:
             flow.done.succeed(0.0)
             return flow.done
@@ -166,29 +201,31 @@ class Fabric:
         self._reschedule()
         return flow.done
 
-    def message(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control") -> Event:
+    def message(self, src: Host, dst: Host, nbytes: float = 512,
+                tag: str = "control", cause: Optional[str] = None) -> Event:
         """A small control message: one latency plus serialization at NIC speed.
 
         Control messages are not pushed through the fluid scheduler — they
         are tiny compared to bulk flows and modeling them as flows would only
         add noise and event churn.
         """
+        cause = self._resolve_cause(cause, tag)
         if src is dst:
             ev = Event(self.env)
             ev.succeed(0.0)
             return ev
         if src.failed or dst.failed:
-            return self._black_hole(src, dst, tag)
+            return self._black_hole(src, dst, tag, cause)
         cap = min(src.nic_out, dst.nic_in)
         if cap <= 0:
             # Fully partitioned link: the message is lost in transit.
-            return self._black_hole(src, dst, tag)
-        self.meter.add(tag, nbytes)
+            return self._black_hole(src, dst, tag, cause)
+        self.meter.add(tag, nbytes, cause)
         tr = self.env.tracer
         if tr.enabled and tr.verbose:
             tr.instant(f"message:{tag}", cat="net", tid="net:control",
                        args={"src": src.name, "dst": dst.name,
-                             "bytes": nbytes})
+                             "bytes": nbytes, "cause": cause})
         mx = self.env.metrics
         if mx.enabled:
             mx.counter(f"net.messages.{tag}").inc()
@@ -217,7 +254,8 @@ class Fabric:
         if tr.enabled:
             tr.instant("flow.cancelled", cat="net", tid=f"net:{flow.tag}",
                        args={"src": flow.src.name, "dst": flow.dst.name,
-                             "left_bytes": flow.remaining})
+                             "left_bytes": flow.remaining,
+                             "cause": flow.cause})
         mx = self.env.metrics
         if mx.enabled:
             mx.counter("net.flows.cancelled").inc()
@@ -249,7 +287,8 @@ class Fabric:
         self._reschedule()
         return len(doomed)
 
-    def _black_hole(self, src: Host, dst: Host, tag: str) -> Event:
+    def _black_hole(self, src: Host, dst: Host, tag: str,
+                    cause: Optional[str] = None) -> Event:
         """A transfer or message touching a crashed/partitioned endpoint:
         it never completes and moves no bytes.  The returned event stays
         pending forever — the caller's timeout/abort machinery is the
@@ -257,7 +296,8 @@ class Fabric:
         tr = self.env.tracer
         if tr.enabled:
             tr.instant("flow.blackholed", cat="net", tid=f"net:{tag}",
-                       args={"src": src.name, "dst": dst.name})
+                       args={"src": src.name, "dst": dst.name,
+                             "cause": cause if cause is not None else tag})
         mx = self.env.metrics
         if mx.enabled:
             mx.counter("net.flows.blackholed").inc()
@@ -280,7 +320,7 @@ class Fabric:
             moved = min(fl.rate * dt, fl.remaining)
             fl.remaining -= moved
             fl._accounted += moved
-            self.meter.add(fl.tag, moved)
+            self.meter.add(fl.tag, moved, fl.cause)
             if fl.remaining <= _DONE_EPS:
                 fl.remaining = 0.0
                 finished.append(fl)
@@ -290,14 +330,14 @@ class Fabric:
             self._flows.remove(fl)
             # Credit any residual rounding so accounting is exact.
             if fl._accounted < fl.nbytes:
-                self.meter.add(fl.tag, fl.nbytes - fl._accounted)
+                self.meter.add(fl.tag, fl.nbytes - fl._accounted, fl.cause)
                 fl._accounted = fl.nbytes
             if tr.enabled:
                 tr.async_span(
                     f"flow:{fl.tag}", fl.started_at, self.env.now,
                     cat="net", tid=f"net:{fl.tag}",
                     args={"src": fl.src.name, "dst": fl.dst.name,
-                          "bytes": fl.nbytes},
+                          "bytes": fl.nbytes, "cause": fl.cause},
                 )
             if mx.enabled:
                 mx.counter(f"net.flows.{fl.tag}").inc()

@@ -135,11 +135,26 @@ class Observability:
         return _RunScope(self, unique)
 
     def note_traffic(self, meter) -> None:
-        """Fold a TrafficMeter's per-tag totals into ``net.bytes.*``."""
+        """Record a TrafficMeter's final accounting for this run.
+
+        Per-tag and per-cause totals land as ``net.bytes.*`` /
+        ``net.cause.*`` counters, and the raw ``(tag, cause)`` pair
+        matrix is emitted into the trace as a ``traffic.snapshot``
+        instant — the analyzer's ground truth for the conservation
+        check (:mod:`repro.obs.analyze.attribution`).
+        """
+        if self.tracer.enabled:
+            pairs = sorted(meter.by_pair().items())
+            self.tracer.instant(
+                "traffic.snapshot", cat="net", tid="net:accounting",
+                args={"pairs": [[t, c, v] for (t, c), v in pairs]},
+            )
         if not self.metrics.enabled:
             return
-        for tag, nbytes in meter.by_tag().items():
+        for tag, nbytes in sorted(meter.by_tag().items()):
             self.metrics.counter(f"net.bytes.{tag}").inc(nbytes)
+        for cause, nbytes in sorted(meter.by_cause().items()):
+            self.metrics.counter(f"net.cause.{cause}").inc(nbytes)
 
     # -- output ------------------------------------------------------------
     def metrics_dump(self) -> dict:

@@ -1,0 +1,130 @@
+"""Per-cause byte/time attribution with an exact conservation check.
+
+The ground truth is the ``traffic.snapshot`` instant the
+:class:`~repro.obs.Observability` emits at the end of every run: the
+TrafficMeter's raw ``{(tag, cause): bytes}`` pair matrix.  Per-tag and
+per-cause views are two groupings of those same pairs, so conservation
+("attributed bytes sum to the meter total") can be checked *exactly*:
+the pair values are exact binary floats, and summing them as
+:class:`fractions.Fraction` removes the only source of inexactness
+(float addition order).  The check is therefore independent of grouping
+order and either passes exactly or names the residual.
+
+Traced flow spans (``flow:<tag>`` async pairs) add the *time* dimension:
+how long each cause kept the wire busy, and when it was active.  Control
+messages are metered but not traced as flows, so flow coverage of the
+metered total is reported rather than asserted.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional
+
+__all__ = ["attribution_from_pairs", "flow_stats", "run_attribution"]
+
+
+def _exact_sum(values: Iterable[float]) -> Fraction:
+    return sum((Fraction(v) for v in values), Fraction(0))
+
+
+def attribution_from_pairs(pairs: list) -> dict:
+    """Attribution views + conservation verdict from ``[[tag, cause, bytes]]``.
+
+    Returned bytes are floats (for JSON), but the conservation check is
+    performed on exact rationals; ``conservation.exact`` is True iff
+    the per-cause and per-tag groupings both sum to the total with zero
+    residual (which, by construction, they must — a failure means the
+    snapshot itself is corrupt or hand-edited).
+    """
+    by_tag: dict[str, Fraction] = {}
+    by_cause: dict[str, Fraction] = {}
+    for tag, cause, nbytes in pairs:
+        frac = Fraction(float(nbytes))
+        by_tag[tag] = by_tag.get(tag, Fraction(0)) + frac
+        by_cause[cause] = by_cause.get(cause, Fraction(0)) + frac
+    total = _exact_sum(float(nbytes) for _t, _c, nbytes in pairs)
+    # Sum the groupings as rationals (NOT their float-rounded JSON views:
+    # rounding each group first can miss by an ulp on honest data).
+    cause_sum = sum(by_cause.values(), Fraction(0))
+    tag_sum = sum(by_tag.values(), Fraction(0))
+    return {
+        "pairs": [[t, c, float(b)] for t, c, b in pairs],
+        "by_tag": {t: float(v) for t, v in sorted(by_tag.items())},
+        "by_cause": {c: float(v) for c, v in sorted(by_cause.items())},
+        "total_bytes": float(total),
+        "conservation": {
+            "exact": cause_sum == total and tag_sum == total,
+            "total_bytes": float(total),
+            "cause_sum_bytes": float(cause_sum),
+            "tag_sum_bytes": float(tag_sum),
+            "residual_bytes": float(abs(cause_sum - total) + abs(tag_sum - total)),
+        },
+    }
+
+
+def flow_stats(events: list) -> dict:
+    """Per-cause wire-time statistics from traced ``flow:<tag>`` spans.
+
+    Matches each async begin (``ph: "b"``) with its end (``ph: "e"``) by
+    ``(pid, id, name)``; the begin half carries the flow's args
+    (src/dst/bytes/cause).  Returns ``{cause: {...}}`` with byte totals,
+    flow counts, summed busy time and the active window — plus the
+    cancelled/black-holed counts per cause.
+    """
+    begins: dict[tuple, dict] = {}
+    per_cause: dict[str, dict] = {}
+    lost: dict[str, dict] = {}
+    for ev in events:
+        name = ev.get("name", "")
+        ph = ev.get("ph")
+        if ph == "b" and name.startswith("flow:"):
+            begins[(ev.get("pid"), ev.get("id"), name)] = ev
+        elif ph == "e" and name.startswith("flow:"):
+            begin = begins.pop((ev.get("pid"), ev.get("id"), name), None)
+            if begin is None:
+                continue
+            args = begin.get("args", {})
+            cause = args.get("cause", name[len("flow:"):])
+            t0 = begin.get("ts", 0.0) / 1e6
+            t1 = ev.get("ts", 0.0) / 1e6
+            st = per_cause.setdefault(cause, {
+                "bytes": 0.0, "flows": 0, "busy_s": 0.0,
+                "t_first": t0, "t_last": t1,
+            })
+            st["bytes"] += float(args.get("bytes", 0.0))
+            st["flows"] += 1
+            st["busy_s"] += max(t1 - t0, 0.0)
+            st["t_first"] = min(st["t_first"], t0)
+            st["t_last"] = max(st["t_last"], t1)
+        elif ph == "i" and name in ("flow.cancelled", "flow.blackholed"):
+            cause = ev.get("args", {}).get("cause")
+            if cause is None:
+                continue
+            rec = lost.setdefault(cause, {"cancelled": 0, "blackholed": 0})
+            rec["cancelled" if name == "flow.cancelled" else "blackholed"] += 1
+    for cause, rec in lost.items():
+        st = per_cause.setdefault(cause, {
+            "bytes": 0.0, "flows": 0, "busy_s": 0.0,
+            "t_first": 0.0, "t_last": 0.0,
+        })
+        st.update(rec)
+    return {c: per_cause[c] for c in sorted(per_cause)}
+
+
+def run_attribution(events: list, pairs: Optional[list]) -> dict:
+    """The full attribution block for one run's event lane."""
+    flows = flow_stats(events)
+    out: dict = {"flows_by_cause": flows}
+    if pairs is None:
+        out["metered"] = None
+        out["flow_coverage"] = None
+        return out
+    out["metered"] = attribution_from_pairs(pairs)
+    total = out["metered"]["total_bytes"]
+    traced = sum(st["bytes"] for st in flows.values())
+    # Completed flows only — in-flight or cancelled wire bytes are in the
+    # meter but have no finished span, so coverage < 1 is informative,
+    # not an error.
+    out["flow_coverage"] = traced / total if total > 0 else 1.0
+    return out

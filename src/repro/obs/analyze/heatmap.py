@@ -1,0 +1,72 @@
+"""Write-count × transfer-fate heatmap: what the Threshold cutoff did.
+
+The hybrid destination emits one ``chunks.fate`` instant per finished
+migration: for every chunk that crossed the wire, the source-side
+Algorithm 2 write count (capped into an "N+" top row) and the chunk's
+final fate — ``pushed`` (active push), ``prefetched`` (background pull),
+``ondemand`` (priority read), ``cancelled`` (a destination write killed
+the pull).  Reading the matrix *is* reading the Threshold: rows below it
+go overwhelmingly to ``pushed``, rows at/above it can only be pulled.
+"""
+
+from __future__ import annotations
+
+__all__ = ["chunk_fate_maps", "FATE_COLUMNS", "render_ascii"]
+
+#: Column order mirrors the chunk lifecycle, not alphabet.
+FATE_COLUMNS = ["pushed", "prefetched", "ondemand", "cancelled"]
+
+
+def chunk_fate_maps(events: list) -> list[dict]:
+    """All ``chunks.fate`` emissions in this run, one map per migration."""
+    maps = []
+    for ev in events:
+        if ev.get("name") != "chunks.fate" or ev.get("ph") != "i":
+            continue
+        args = ev.get("args", {})
+        cells = [
+            [int(wc), str(fate), int(count)]
+            for wc, fate, count in args.get("cells", [])
+        ]
+        maps.append({
+            "vm": args.get("vm"),
+            "ts_s": ev.get("ts", 0.0) / 1e6,
+            "threshold": args.get("threshold"),
+            "wc_cap": args.get("wc_cap"),
+            "cells": sorted(cells),
+            "chunks": sum(c[2] for c in cells),
+        })
+    return maps
+
+
+def _grid(heatmap: dict) -> tuple[list[int], dict[tuple[int, str], int]]:
+    cells = {(wc, fate): n for wc, fate, n in heatmap["cells"]}
+    rows = sorted({wc for wc, _f, _n in heatmap["cells"]})
+    return rows, cells
+
+
+def render_ascii(heatmap: dict) -> str:
+    """The heatmap as a fixed-width text table (CLI / example output)."""
+    rows, cells = _grid(heatmap)
+    cap = heatmap.get("wc_cap")
+    thr = heatmap.get("threshold")
+    width = max(len(c) for c in FATE_COLUMNS) + 2
+    out = [
+        f"chunk fate by write count (threshold={thr}, "
+        f"{heatmap['chunks']} chunks)"
+    ]
+    out.append(
+        "writes".ljust(8) + "".join(c.rjust(width) for c in FATE_COLUMNS)
+    )
+    for wc in rows:
+        label = f"{wc}+" if cap is not None and wc == cap else str(wc)
+        if thr is not None and wc == thr:
+            label += " *"  # the cutoff row
+        line = label.ljust(8)
+        for fate in FATE_COLUMNS:
+            n = cells.get((wc, fate), 0)
+            line += (str(n) if n else "·").rjust(width)
+        out.append(line)
+    if thr is not None:
+        out.append("(* = Threshold: rows at or above were never pushed)")
+    return "\n".join(out)

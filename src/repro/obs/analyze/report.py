@@ -1,0 +1,551 @@
+"""Render an analysis summary: fixed-width text and single-file HTML.
+
+The HTML report is fully self-contained — inline SVG and CSS, no script,
+no external assets — so it can ride along as a CI artifact and open
+anywhere.  Styling follows the repo's chart conventions: a fixed
+categorical slot order per cause (color follows the cause, never its
+rank), a single-hue sequential ramp for the heatmap, light/dark via CSS
+custom properties keyed off ``prefers-color-scheme``, text always in ink
+tokens, and a table view under every chart.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.obs.analyze.heatmap import FATE_COLUMNS, render_ascii
+
+__all__ = ["render_text", "render_html", "cause_table"]
+
+# -- shared formatting ---------------------------------------------------------
+
+#: Fixed cause → categorical slot assignment (never cycled; a cause keeps
+#: its color across reports regardless of which causes appear).
+_CAUSE_SLOTS = {
+    "push": 1,
+    "prefetch": 2,
+    "pull.demand": 3,
+    "repo.fetch": 4,
+    "memory": 5,
+    "workload": 6,
+    "control": 7,
+}
+_RETRY_SLOT = 8  # every retry.* cause shares the red slot
+
+
+def _slot(cause: str) -> int | None:
+    if cause in _CAUSE_SLOTS:
+        return _CAUSE_SLOTS[cause]
+    if cause.startswith("retry."):
+        return _RETRY_SLOT
+    return None  # folds to the muted "other" color
+
+
+def _fmt_bytes(b: float) -> str:
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if abs(b) >= scale:
+            return f"{b / scale:.2f} {unit}"
+    return f"{b:.0f} B"
+
+
+def _fmt_s(t: float) -> str:
+    return f"{t:.2f} s"
+
+
+def cause_table(run: dict) -> list[tuple[str, float, float, int, float]]:
+    """Rows ``(cause, bytes, share, flows, busy_s)`` in slot-then-size order."""
+    att = run["attribution"]
+    metered = att["metered"]
+    flows = att["flows_by_cause"]
+    by_cause = (metered or {}).get("by_cause") or {
+        c: st["bytes"] for c, st in flows.items()
+    }
+    total = sum(by_cause.values())
+    rows = []
+    for cause, nbytes in by_cause.items():
+        st = flows.get(cause, {})
+        rows.append((
+            cause,
+            nbytes,
+            nbytes / total if total > 0 else 0.0,
+            st.get("flows", 0),
+            st.get("busy_s", 0.0),
+        ))
+    rows.sort(key=lambda r: (_slot(r[0]) or 99, -r[1], r[0]))
+    return rows
+
+
+# -- text ----------------------------------------------------------------------
+
+def render_text(summary: dict) -> str:
+    """The analysis as fixed-width text (CLI default, example output)."""
+    out = []
+    for run in summary["runs"]:
+        out.append(f"== run: {run['label']} ({run['events']} events)")
+        rows = cause_table(run)
+        if rows:
+            out.append(
+                "  cause".ljust(22) + "bytes".rjust(12) + "share".rjust(8)
+                + "flows".rjust(7) + "busy".rjust(10)
+            )
+            for cause, nbytes, share, nflows, busy in rows:
+                out.append(
+                    f"  {cause}".ljust(22)
+                    + _fmt_bytes(nbytes).rjust(12)
+                    + f"{100 * share:.1f}%".rjust(8)
+                    + str(nflows).rjust(7)
+                    + _fmt_s(busy).rjust(10)
+                )
+        metered = run["attribution"]["metered"]
+        if metered is not None:
+            cons = metered["conservation"]
+            verdict = "exact" if cons["exact"] else (
+                f"VIOLATED (residual {cons['residual_bytes']:g} B)"
+            )
+            out.append(
+                f"  conservation: {verdict} — causes sum to "
+                f"{_fmt_bytes(cons['total_bytes'])} meter total"
+            )
+        else:
+            out.append("  conservation: no traffic.snapshot in this lane")
+        for tl in run["phases"]["migrations"]:
+            head = f"  migration {tl['vm']}"
+            if tl["attempt"]:
+                head += f" (attempt {tl['attempt'] + 1})"
+            if tl["aborted"]:
+                head += f" — ABORTED ({tl['abort_cause']})"
+            out.append(head)
+            for ph in tl["phases"]:
+                line = (
+                    f"    {ph['name']}".ljust(26)
+                    + f"{ph['start_s']:.2f} → {ph['end_s']:.2f}"
+                    + f"  ({_fmt_s(ph['duration_s'])})"
+                )
+                if ph.get("degraded_s"):
+                    line += f"  [{_fmt_s(ph['degraded_s'])} degraded]"
+                out.append(line)
+        for win in run["phases"]["fault_windows"]:
+            end = "open" if win["end_s"] is None else f"{win['end_s']:.2f}"
+            out.append(
+                f"  fault {win['kind']} on {win['target']}: "
+                f"{win['start_s']:.2f} → {end}"
+            )
+        for hm in run["heatmaps"]:
+            out.append(
+                "  " + render_ascii(hm).replace("\n", "\n  ")
+            )
+        out.append("")
+    status = "exact" if summary["conservation_ok"] else "VIOLATED"
+    out.append(f"byte-attribution conservation across all runs: {status}")
+    return "\n".join(out)
+
+
+# -- HTML ----------------------------------------------------------------------
+
+_CSS = """
+:root { margin: 0; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+  --good: #0ca30c; --critical: #d03b3b; --serious: #ec835a;
+  --seq1: #cde2fb; --seq2: #9ec5f4; --seq3: #6da7ec; --seq4: #3987e5;
+  --seq5: #256abf; --seq6: #184f95; --seq7: #0d366b;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+h3 { font-size: 13px; margin: 18px 0 6px; color: var(--text-secondary); }
+.sub { color: var(--text-secondary); font-size: 13px; margin-bottom: 20px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin-bottom: 16px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 12px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 120px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { font-size: 12px; color: var(--text-secondary); }
+.badge {
+  display: inline-flex; align-items: center; gap: 6px;
+  font-size: 13px; font-weight: 600;
+}
+.badge .dot { font-size: 15px; }
+.badge.good { color: var(--good); }
+.badge.bad { color: var(--critical); }
+svg text { font-family: inherit; }
+table { border-collapse: collapse; font-size: 13px; margin-top: 8px; }
+th, td { padding: 3px 12px 3px 0; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+td { font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 500; }
+tr { border-bottom: 1px solid var(--grid); }
+details { margin-top: 8px; }
+summary { cursor: pointer; font-size: 12px; color: var(--text-muted); }
+.legend { display: flex; flex-wrap: wrap; gap: 14px; font-size: 12px;
+          color: var(--text-secondary); margin: 6px 0; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+              border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+"""
+
+
+def _color(cause: str) -> str:
+    slot = _slot(cause)
+    return f"var(--s{slot})" if slot else "var(--text-muted)"
+
+
+def _bar(x: float, y: float, w: float, h: float, fill: str,
+         title: str) -> str:
+    # Square at the baseline, 4px-rounded at the data end.
+    r = min(4.0, w / 2, h / 2)
+    d = (
+        f"M{x:.1f},{y:.1f} h{max(w - r, 0):.1f} "
+        f"a{r:.1f},{r:.1f} 0 0 1 {r:.1f},{r:.1f} v{max(h - 2 * r, 0):.1f} "
+        f"a{r:.1f},{r:.1f} 0 0 1 {-r:.1f},{r:.1f} h{-max(w - r, 0):.1f} z"
+    )
+    return f'<path d="{d}" fill="{fill}"><title>{escape(title)}</title></path>'
+
+
+def _cause_chart(rows: list) -> str:
+    """Horizontal per-cause bars with direct labels and a table view."""
+    if not rows:
+        return "<p class='sub'>no attributed bytes</p>"
+    width, label_w, value_w = 720, 150, 90
+    bar_h, gap = 20, 8
+    plot_w = width - label_w - value_w
+    vmax = max(r[1] for r in rows) or 1.0
+    height = len(rows) * (bar_h + gap) + 4
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="bytes by cause">'
+    ]
+    # hairline gridlines at quarters
+    for q in (0.25, 0.5, 0.75, 1.0):
+        gx = label_w + plot_w * q
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="0" x2="{gx:.1f}" y2="{height - 4}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+    for i, (cause, nbytes, share, nflows, busy) in enumerate(rows):
+        y = i * (bar_h + gap)
+        w = max(plot_w * nbytes / vmax, 2.0)
+        title = (f"{cause}: {_fmt_bytes(nbytes)} ({100 * share:.1f}%), "
+                 f"{nflows} flows, {busy:.2f}s on the wire")
+        parts.append(
+            f'<text x="{label_w - 10}" y="{y + bar_h - 6}" text-anchor="end" '
+            f'font-size="12" fill="var(--text-primary)">{escape(cause)}</text>'
+        )
+        parts.append(_bar(label_w, y, w, bar_h, _color(cause), title))
+        parts.append(
+            f'<text x="{label_w + w + 8}" y="{y + bar_h - 6}" font-size="12" '
+            f'fill="var(--text-secondary)">{_fmt_bytes(nbytes)} '
+            f'({100 * share:.0f}%)</text>'
+        )
+    parts.append("</svg>")
+    table = [
+        "<details><summary>table view</summary><table>",
+        "<tr><th>cause</th><th>bytes</th><th>share</th>"
+        "<th>flows</th><th>wire time</th></tr>",
+    ]
+    for cause, nbytes, share, nflows, busy in rows:
+        table.append(
+            f"<tr><td>{escape(cause)}</td><td>{_fmt_bytes(nbytes)}</td>"
+            f"<td>{100 * share:.1f}%</td><td>{nflows}</td>"
+            f"<td>{busy:.2f} s</td></tr>"
+        )
+    table.append("</table></details>")
+    return "".join(parts) + "".join(table)
+
+
+#: Phase → slot in recorded wall order (adjacent slots are the palette's
+#: validated adjacency).
+_PHASE_SLOTS = {
+    "request/setup": 1,
+    "memory + push": 2,
+    "sync": 3,
+    "downtime": 4,
+    "pull / post-control": 5,
+}
+
+
+def _phase_chart(run: dict) -> str:
+    """One gantt row per migration attempt, degraded windows overlaid."""
+    migrations = run["phases"]["migrations"]
+    if not migrations:
+        return "<p class='sub'>no migration recorded in this lane</p>"
+    t0 = min(tl["start_s"] for tl in migrations)
+    t1 = max(tl["end_s"] for tl in migrations)
+    for win in run["phases"]["fault_windows"]:
+        t1 = max(t1, win["end_s"] if win["end_s"] is not None else t1)
+    span = max(t1 - t0, 1e-9)
+    width, label_w = 720, 150
+    row_h, gap = 22, 10
+    plot_w = width - label_w - 10
+    height = len(migrations) * (row_h + gap) + 22
+
+    def sx(t: float) -> float:
+        return label_w + plot_w * (t - t0) / span
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="migration phases">'
+    ]
+    for q in range(5):
+        gx = label_w + plot_w * q / 4
+        tq = t0 + span * q / 4
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="0" x2="{gx:.1f}" '
+            f'y2="{height - 18}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{gx:.1f}" y="{height - 5}" text-anchor="middle" '
+            f'font-size="11" fill="var(--text-muted)">{tq:.1f}s</text>'
+        )
+    for i, tl in enumerate(migrations):
+        y = i * (row_h + gap)
+        label = tl["vm"] + (f" #{tl['attempt'] + 1}" if tl["attempt"] else "")
+        if tl["aborted"]:
+            label += " ✕"
+        parts.append(
+            f'<text x="{label_w - 10}" y="{y + row_h - 7}" text-anchor="end" '
+            f'font-size="12" fill="var(--text-primary)">{escape(label)}</text>'
+        )
+        for ph in tl["phases"]:
+            x = sx(ph["start_s"])
+            w = max(sx(ph["end_s"]) - x, 1.0)
+            slot = _PHASE_SLOTS.get(ph["name"])
+            fill = f"var(--s{slot})" if slot else "var(--text-muted)"
+            title = (f"{ph['name']}: {ph['start_s']:.2f}–{ph['end_s']:.2f}s "
+                     f"({ph['duration_s']:.2f}s)")
+            if ph.get("degraded_s"):
+                title += f", {ph['degraded_s']:.2f}s under injected faults"
+            # 2px surface gap between adjacent segments.
+            parts.append(
+                f'<rect x="{x + 1:.1f}" y="{y}" width="{max(w - 2, 1):.1f}" '
+                f'height="{row_h}" rx="2" fill="{fill}">'
+                f"<title>{escape(title)}</title></rect>"
+            )
+        for win in run["phases"]["fault_windows"]:
+            wx = sx(win["start_s"])
+            wend = win["end_s"] if win["end_s"] is not None else t1
+            ww = max(sx(wend) - wx, 1.0)
+            wt = (f"fault {win['kind']} on {win['target']} "
+                  f"({win['start_s']:.2f}s → "
+                  + ("open" if win["end_s"] is None else f"{wend:.2f}s") + ")")
+            parts.append(
+                f'<rect x="{wx:.1f}" y="{y - 3}" width="{ww:.1f}" height="3" '
+                f'fill="var(--serious)"><title>{escape(wt)}</title></rect>'
+            )
+    parts.append("</svg>")
+    legend = ['<div class="legend">']
+    for name, slot in _PHASE_SLOTS.items():
+        legend.append(
+            f'<span><span class="sw" style="background:var(--s{slot})"></span>'
+            f"{escape(name)}</span>"
+        )
+    if run["phases"]["fault_windows"]:
+        legend.append(
+            '<span><span class="sw" style="background:var(--serious)"></span>'
+            "fault window</span>"
+        )
+    legend.append("</div>")
+    table = [
+        "<details><summary>table view</summary><table>",
+        "<tr><th>migration</th><th>phase</th><th>start</th><th>end</th>"
+        "<th>duration</th><th>degraded</th></tr>",
+    ]
+    for tl in migrations:
+        who = tl["vm"] + (f" #{tl['attempt'] + 1}" if tl["attempt"] else "")
+        for ph in tl["phases"]:
+            table.append(
+                f"<tr><td>{escape(who)}</td><td>{escape(ph['name'])}</td>"
+                f"<td>{ph['start_s']:.2f} s</td><td>{ph['end_s']:.2f} s</td>"
+                f"<td>{ph['duration_s']:.2f} s</td>"
+                f"<td>{ph.get('degraded_s', 0.0):.2f} s</td></tr>"
+            )
+    table.append("</table></details>")
+    return "".join(legend) + "".join(parts) + "".join(table)
+
+
+def _heatmap_chart(hm: dict) -> str:
+    """Write-count × fate cells on the sequential ramp, plus the table."""
+    cells = {(wc, fate): n for wc, fate, n in hm["cells"]}
+    rows = sorted({wc for wc, _f, _n in hm["cells"]})
+    if not rows:
+        return "<p class='sub'>no transferred chunks recorded</p>"
+    vmax = max(cells.values())
+    cap, thr = hm.get("wc_cap"), hm.get("threshold")
+    cell_w, cell_h, gap = 110, 26, 2
+    label_w = 70
+    width = label_w + len(FATE_COLUMNS) * (cell_w + gap) + 10
+    height = (len(rows) + 1) * (cell_h + gap) + 6
+
+    def ramp(n: int) -> str:
+        if n == 0:
+            return "var(--surface-1)"
+        step = 1 + int(6 * (n / vmax) ** 0.5 + 1e-9)
+        return f"var(--seq{min(step, 7)})"
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="chunk fate heatmap">'
+    ]
+    for j, fate in enumerate(FATE_COLUMNS):
+        x = label_w + j * (cell_w + gap)
+        parts.append(
+            f'<text x="{x + cell_w / 2:.1f}" y="{cell_h - 9}" '
+            f'text-anchor="middle" font-size="12" '
+            f'fill="var(--text-secondary)">{escape(fate)}</text>'
+        )
+    for i, wc in enumerate(rows):
+        y = (i + 1) * (cell_h + gap)
+        lab = f"{wc}+" if cap is not None and wc == cap else str(wc)
+        if thr is not None and wc == thr:
+            lab += " ⏷"
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + cell_h - 8}" text-anchor="end" '
+            f'font-size="12" fill="var(--text-primary)">{escape(lab)}</text>'
+        )
+        for j, fate in enumerate(FATE_COLUMNS):
+            x = label_w + j * (cell_w + gap)
+            n = cells.get((wc, fate), 0)
+            title = f"{n} chunks written {lab} time(s) → {fate}"
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_w}" height="{cell_h}" '
+                f'rx="2" fill="{ramp(n)}" stroke="var(--grid)" '
+                f'stroke-width="1"><title>{escape(title)}</title></rect>'
+            )
+    parts.append("</svg>")
+    table = [
+        "<details><summary>table view</summary><table>",
+        "<tr><th>writes</th>"
+        + "".join(f"<th>{escape(f)}</th>" for f in FATE_COLUMNS) + "</tr>",
+    ]
+    for wc in rows:
+        lab = f"{wc}+" if cap is not None and wc == cap else str(wc)
+        table.append(
+            f"<tr><td>{escape(lab)}</td>"
+            + "".join(
+                f"<td>{cells.get((wc, f), 0)}</td>" for f in FATE_COLUMNS
+            )
+            + "</tr>"
+        )
+    table.append("</table></details>")
+    note = ""
+    if thr is not None:
+        note = (
+            f"<p class='sub'>⏷ Threshold = {thr}: chunks written at least "
+            "that often were excluded from the active push and could only "
+            "be prefetched or pulled on demand.</p>"
+        )
+    return "".join(parts) + note + "".join(table)
+
+
+def _conservation_badge(run: dict) -> str:
+    metered = run["attribution"]["metered"]
+    if metered is None:
+        return (
+            '<span class="badge"><span class="dot">○</span>'
+            "no traffic snapshot</span>"
+        )
+    cons = metered["conservation"]
+    if cons["exact"]:
+        return (
+            '<span class="badge good"><span class="dot">✓</span>'
+            f"conservation exact — causes sum to "
+            f"{escape(_fmt_bytes(cons['total_bytes']))}</span>"
+        )
+    return (
+        '<span class="badge bad"><span class="dot">✗</span>'
+        f"conservation violated — residual "
+        f"{escape(_fmt_bytes(cons['residual_bytes']))}</span>"
+    )
+
+
+def _run_tiles(run: dict) -> str:
+    metered = run["attribution"]["metered"]
+    total = metered["total_bytes"] if metered else sum(
+        st["bytes"] for st in run["attribution"]["flows_by_cause"].values()
+    )
+    tiles = [("total traffic", _fmt_bytes(total))]
+    migrations = run["phases"]["migrations"]
+    done = [tl for tl in migrations if not tl["aborted"]]
+    if done:
+        tl = done[-1]
+        tiles.append(
+            ("migration time", _fmt_s(tl["end_s"] - tl["start_s"]))
+        )
+        downtime = sum(
+            ph["duration_s"] for ph in tl["phases"] if ph["name"] == "downtime"
+        )
+        tiles.append(("downtime", f"{1000 * downtime:.0f} ms"))
+    aborted = sum(1 for tl in migrations if tl["aborted"])
+    if aborted:
+        tiles.append(("aborted attempts", str(aborted)))
+    nflows = sum(
+        st.get("flows", 0)
+        for st in run["attribution"]["flows_by_cause"].values()
+    )
+    tiles.append(("completed flows", f"{nflows:,}"))
+    return '<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="v">{escape(v)}</div>'
+        f'<div class="k">{escape(k)}</div></div>'
+        for k, v in tiles
+    ) + "</div>"
+
+
+def render_html(summary: dict, title: str = "Migration flight report") -> str:
+    """The whole summary as one dependency-free HTML document."""
+    body = []
+    for run in summary["runs"]:
+        body.append('<div class="card">')
+        body.append(f"<h2>{escape(run['label'])}</h2>")
+        body.append(_run_tiles(run))
+        body.append(_conservation_badge(run))
+        body.append("<h3>Bytes by cause</h3>")
+        body.append(_cause_chart(cause_table(run)))
+        body.append("<h3>Phase timeline</h3>")
+        body.append(_phase_chart(run))
+        for hm in run["heatmaps"]:
+            vm = hm.get("vm") or "vm"
+            body.append(
+                f"<h3>Chunk write-count × fate ({escape(str(vm))})</h3>"
+            )
+            body.append(_heatmap_chart(hm))
+        body.append("</div>")
+    ok = summary["conservation_ok"]
+    overall = (
+        '<span class="badge good"><span class="dot">✓</span>'
+        "all byte attribution conserved</span>"
+        if ok else
+        '<span class="badge bad"><span class="dot">✗</span>'
+        "byte attribution NOT conserved — see runs below</span>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        "<body class='viz-root'>"
+        f"<h1>{escape(title)}</h1>"
+        f"<p class='sub'>{len(summary['runs'])} run(s) · "
+        f"schema {escape(summary['schema'])} · {overall}</p>"
+        + "".join(body)
+        + "</body></html>\n"
+    )

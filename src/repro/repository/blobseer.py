@@ -88,6 +88,7 @@ class StripedRepository:
         dest: Host,
         weight: float = 1.0,
         tag: str = "repo-fetch",
+        cause: str = "repo.fetch",
     ) -> Event:
         """Deliver ``chunk_ids`` to ``dest``; completion = all stripes in."""
         chunk_ids = np.asarray(chunk_ids, dtype=np.intp)
@@ -126,7 +127,8 @@ class StripedRepository:
             self._load[sidx] += nbytes
             self.bytes_served += nbytes
             ev = self.fabric.transfer(
-                self.servers[sidx], dest, nbytes, tag=tag, weight=weight
+                self.servers[sidx], dest, nbytes, tag=tag, weight=weight,
+                cause=cause,
             )
             ev.add_callback(self._make_unloader(sidx, nbytes))
             transfers.append(ev)
@@ -138,6 +140,7 @@ class StripedRepository:
         src: Host,
         tag: str = "repo-store",
         weight: float = 1.0,
+        cause: str = "repo.store",
     ) -> Event:
         """Upload chunk contents from ``src`` into the repository.
 
@@ -173,7 +176,8 @@ class StripedRepository:
             nbytes = count * self.chunk_size
             transfers.append(
                 self.fabric.transfer(
-                    src, self.servers[sidx], nbytes, tag=tag, weight=weight
+                    src, self.servers[sidx], nbytes, tag=tag, weight=weight,
+                    cause=cause,
                 )
             )
         return self.env.all_of(transfers)

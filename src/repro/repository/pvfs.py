@@ -83,7 +83,8 @@ class PVFS:
         return lim
 
     # -- guest I/O --------------------------------------------------------------
-    def read(self, client: Host, nbytes: float, tag: str = "pvfs-io") -> Event:
+    def read(self, client: Host, nbytes: float, tag: str = "pvfs-io",
+             cause: str = "workload") -> Event:
         """Stream ``nbytes`` from the server pool to ``client``."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -95,10 +96,12 @@ class PVFS:
         picked = self._pick_servers()
         share = nbytes / len(picked)
         return self.env.all_of(
-            [self.fabric.transfer(s, client, share, tag=tag) for s in picked]
+            [self.fabric.transfer(s, client, share, tag=tag, cause=cause)
+             for s in picked]
         )
 
-    def write(self, client: Host, nbytes: float, tag: str = "pvfs-io") -> Event:
+    def write(self, client: Host, nbytes: float, tag: str = "pvfs-io",
+              cause: str = "workload") -> Event:
         """Write ``nbytes`` from ``client`` into the pool.
 
         Completion requires both the network transfer and the client-side
@@ -113,7 +116,8 @@ class PVFS:
         self.bytes_written += nbytes
         picked = self._pick_servers()
         share = nbytes / len(picked)
-        events = [self.fabric.transfer(client, s, share, tag=tag) for s in picked]
+        events = [self.fabric.transfer(client, s, share, tag=tag, cause=cause)
+                  for s in picked]
         events.append(self._write_limiter(client).transfer(nbytes))
         return self.env.all_of(events)
 
@@ -124,9 +128,11 @@ class PVFS:
         dest: Host,
         weight: float = 1.0,
         tag: str = "repo-fetch",
+        cause: str = "repo.fetch",
     ) -> Event:
         chunk_ids = np.asarray(chunk_ids, dtype=np.intp)
-        return self.read(dest, float(len(chunk_ids) * self.chunk_size), tag=tag)
+        return self.read(dest, float(len(chunk_ids) * self.chunk_size),
+                         tag=tag, cause=cause)
 
     def __repr__(self) -> str:
         return f"<PVFS {len(self.servers)} servers stripe_width={self.stripe_width}>"

@@ -277,6 +277,9 @@ class Environment:
         #: overhead), replaced by ``repro.obs.Observability.install``.
         self.tracer = NULL_TRACER
         self.metrics = NULL_METRICS
+        #: Lifetime count of processed events; the benchmark harness
+        #: (benchmarks/trajectory.py) divides by wall-clock for events/sec.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -334,6 +337,7 @@ class Environment:
         if when < self._now:
             raise AssertionError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

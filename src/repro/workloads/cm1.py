@@ -112,7 +112,8 @@ class CM1Workload(Workload):
             peer_vm = self.peers[nb]
             sends.append(
                 self.fabric.transfer(
-                    self.vm.host, peer_vm.host, float(self.halo_bytes), tag="app"
+                    self.vm.host, peer_vm.host, float(self.halo_bytes), tag="app",
+                    cause="workload"
                 )
             )
         if sends:

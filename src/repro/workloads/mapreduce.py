@@ -102,7 +102,8 @@ class MapReduceWorker(Workload):
                 continue
             sends.append(
                 self.fabric.transfer(
-                    self.vm.host, peer_vm.host, float(partition), tag="app"
+                    self.vm.host, peer_vm.host, float(partition), tag="app",
+                    cause="workload"
                 )
             )
         if sends:
