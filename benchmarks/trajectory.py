@@ -10,11 +10,16 @@ history.  Each invocation
   share churn, max-min recomputation, one end-to-end hybrid migration),
   measuring wall-clock, events processed (the kernel's lifetime
   ``Environment.events_processed`` counter) and peak RSS;
-* runs one *traced* fig2 migration, feeds the trace to
-  ``repro.obs.analyze`` and fails (exit 1) unless every run's per-cause
-  bytes conserve exactly against the TrafficMeter total;
+* runs one *traced* fig2 migration with causal recording, feeds the
+  trace to ``repro.obs.analyze`` and fails (exit 1) unless every run's
+  per-cause bytes conserve exactly against the TrafficMeter total *and*
+  every migration attempt's critical-path segments sum exactly to its
+  wall time;
 * appends one entry to ``BENCH_simulator.json`` (a JSON array at the
-  repo root by default) so successive runs form a trajectory.
+  repo root by default) so successive runs form a trajectory, and fails
+  if aggregate kernel events/sec regressed more than 30% against the
+  previous entry of the same mode (``--no-gate`` records the entry
+  without failing, for noisy machines).
 
 Usage::
 
@@ -151,7 +156,7 @@ def traced_fig2(report_path: str | None):
     from repro.obs import Observability
     from repro.obs.analyze import analyze_tracer, render_html
 
-    obs = Observability(trace=True)
+    obs = Observability(trace=True, causal=True)
     t0 = time.perf_counter()
     record, _stats, _traffic = run_fig2(obs=obs)
     run_wall = time.perf_counter() - t0
@@ -210,6 +215,7 @@ def run_trajectory(quick: bool, report: str | None) -> dict:
 
     summary, fig2_stats = traced_fig2(report)
     entry["conservation_ok"] = summary["conservation_ok"]
+    entry["critical_path_ok"] = summary.get("critical_path_ok", True)
     entry["scenarios"].append({
         "name": "traced_fig2_analyze",
         "wall_s": round(fig2_stats["run_wall_s"] + fig2_stats["analyze_wall_s"], 6),
@@ -222,10 +228,68 @@ def run_trajectory(quick: bool, report: str | None) -> dict:
           f"{fig2_stats['run_wall_s'] + fig2_stats['analyze_wall_s']:8.3f} s   "
           f"{fig2_stats['trace_events']:>9} events")
     print(f"  conservation: {'exact' if entry['conservation_ok'] else 'FAILED'}")
+    print("  critical path: "
+          f"{'exact' if entry['critical_path_ok'] else 'FAILED'}")
     return entry
 
 
-def append_entry(out_path: pathlib.Path, entry: dict) -> None:
+#: Events/sec may regress by at most this much vs. the previous entry.
+GATE_REGRESSION = 0.30
+
+
+def _aggregate_events_per_s(entry: dict) -> float | None:
+    """Lifetime events over lifetime wall across the kernel scenarios.
+
+    Only scenarios reporting ``events_per_s`` participate (the maxmin
+    scenario counts recompute rounds, the traced run measures the
+    analyzer, not the kernel) — the aggregate tracks raw simulator
+    throughput, which is what the gate protects.
+    """
+    events = 0
+    wall = 0.0
+    for sc in entry.get("scenarios", []):
+        if sc.get("events_per_s") is None:
+            continue
+        events += sc.get("events", 0)
+        wall += sc.get("wall_s", 0.0)
+    if wall <= 0 or events == 0:
+        return None
+    return events / wall
+
+
+def check_regression(entry: dict, history: list) -> str | None:
+    """Gate: >GATE_REGRESSION drop in aggregate events/sec vs. the most
+    recent previous entry of the same mode fails the run.
+
+    Returns an error string on regression, None when the gate passes
+    (including when there is no comparable history yet).
+    """
+    current = _aggregate_events_per_s(entry)
+    if current is None:
+        return None
+    previous = None
+    for old in reversed(history):
+        if old.get("mode") == entry.get("mode") and old is not entry:
+            previous = _aggregate_events_per_s(old)
+            if previous is not None:
+                break
+    if previous is None:
+        print("  gate: no previous entry to compare against", file=sys.stderr)
+        return None
+    ratio = current / previous
+    print(f"  gate: {current:,.0f} events/s vs previous {previous:,.0f} "
+          f"({100 * (ratio - 1):+.1f}%)", file=sys.stderr)
+    if ratio < 1.0 - GATE_REGRESSION:
+        return (
+            f"events/sec regressed {100 * (1 - ratio):.1f}% "
+            f"(current {current:,.0f}, previous {previous:,.0f}, "
+            f"allowed {100 * GATE_REGRESSION:.0f}%)"
+        )
+    return None
+
+
+def append_entry(out_path: pathlib.Path, entry: dict) -> list:
+    """Append ``entry`` to the trajectory file; returns the new history."""
     history = []
     if out_path.exists():
         try:
@@ -237,6 +301,7 @@ def append_entry(out_path: pathlib.Path, entry: dict) -> None:
             history = []
     history.append(entry)
     out_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history
 
 
 def main(argv=None) -> int:
@@ -249,18 +314,33 @@ def main(argv=None) -> int:
                              "(default: BENCH_simulator.json at repo root)")
     parser.add_argument("--report", metavar="OUT.html", default=None,
                         help="also write the traced run's HTML flight report")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the entry but never fail on an "
+                             "events/sec regression (for noisy machines)")
     args = parser.parse_args(argv)
 
     print(f"trajectory ({'quick' if args.quick else 'full'} mode):")
     entry = run_trajectory(args.quick, args.report)
     out_path = pathlib.Path(args.out)
-    append_entry(out_path, entry)
+    history = append_entry(out_path, entry)
     print(f"appended entry to {out_path}", file=sys.stderr)
+    rc = 0
     if not entry["conservation_ok"]:
         print("error: byte-attribution conservation check failed",
               file=sys.stderr)
-        return 1
-    return 0
+        rc = 1
+    if not entry["critical_path_ok"]:
+        print("error: critical-path conservation check failed",
+              file=sys.stderr)
+        rc = 1
+    regression = check_regression(entry, history)
+    if regression is not None:
+        print(f"error: {regression}", file=sys.stderr)
+        if args.no_gate:
+            print("(--no-gate: recorded but not failing)", file=sys.stderr)
+        else:
+            rc = 1
+    return rc
 
 
 if __name__ == "__main__":

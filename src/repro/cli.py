@@ -49,6 +49,11 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         help="analyze the run's trace and write a self-contained HTML "
              "report (implies tracing, even without --trace)",
     )
+    p.add_argument(
+        "--causal", action="store_true",
+        help="record causal wait edges for critical-path analysis "
+             "(repro critical-path TRACE.json); implies tracing",
+    )
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -78,14 +83,16 @@ def _make_obs(args):
     trace = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
     report = getattr(args, "report", None)
-    if trace is None and metrics_out is None and report is None:
+    causal = getattr(args, "causal", False)
+    if trace is None and metrics_out is None and report is None and not causal:
         return None
     from repro.obs import Observability
 
     return Observability(
-        trace=trace is not None or report is not None,
+        trace=trace is not None or report is not None or causal,
         metrics=metrics_out is not None,
         detail=args.trace_detail,
+        causal=causal,
     )
 
 
@@ -185,6 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero unless every run's byte "
                               "attribution conserves exactly")
 
+    cpath = sub.add_parser(
+        "critical-path",
+        help="explain a migration's wall time: critical-path decomposition "
+             "by resource class from a trace recorded with --causal",
+    )
+    cpath.add_argument("trace_file", metavar="TRACE.json",
+                       help="trace written by a run with --causal --trace")
+    cpath.add_argument("--json", action="store_true",
+                       help="print the deterministic JSON instead of text")
+    cpath.add_argument("--what-if", metavar="RES=FACTOR", action="append",
+                       default=[], dest="what_if",
+                       help="bounded speedup with a resource class sped up, "
+                            "e.g. nic=2, net.memory=4, stall.timeout=inf "
+                            "(repeatable)")
+
     return parser
 
 
@@ -212,6 +234,70 @@ def _cmd_analyze(args) -> int:
         print("conservation check FAILED", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_critical_path(args) -> int:
+    import json
+
+    from repro.obs.analyze import load_trace
+    from repro.obs.causal import critical_path_summary, parse_what_if
+
+    try:
+        specs = [parse_what_if(s) for s in args.what_if]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = critical_path_summary(load_trace(args.trace_file), specs)
+    all_attempts = [a for r in out["runs"] for a in r["attempts"]]
+    if not all_attempts:
+        print("error: no causal records in trace (re-run with --causal)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(out, sort_keys=True, separators=(",", ":")))
+    else:
+        print(_render_critical_text(out))
+    if not out["conservation_ok"]:
+        print("critical-path conservation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _render_critical_text(out: dict) -> str:
+    lines = []
+    for run in out["runs"]:
+        if not run["attempts"]:
+            continue
+        lines.append(f"=== {run['label']} ===")
+        for att in run["attempts"]:
+            status = " [aborted]" if att["aborted"] else ""
+            lines.append(
+                f"migration {att['vm']} attempt {att['attempt']}{status}: "
+                f"{att['wall_s']:.3f} s "
+                f"({att['start_s']:.3f} -> {att['end_s']:.3f})"
+            )
+            cons = att["conservation"]
+            lines.append(
+                "  conservation: "
+                + ("exact" if cons["exact"]
+                   else f"RESIDUAL {cons['residual_s']:g} s")
+            )
+            lines.append("  critical path by resource:")
+            for row in att["by_resource"]:
+                lines.append(
+                    f"    {row['resource']:<22s}"
+                    f"{row['seconds']:>10.3f} s  "
+                    f"{100 * row['share']:5.1f}%"
+                )
+        for wi in run["what_if"]:
+            lines.append(
+                f"  what-if {wi['resource']}x{wi['factor']:g} "
+                f"(attempt {wi['attempt']}): wall {wi['wall_s']:.3f} -> "
+                f">= {wi['new_wall_s']:.3f} s "
+                f"(speedup <= {wi['speedup_bound']:.2f}x)"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def _outcome_row(outcome) -> list:
@@ -266,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "critical-path":
+        return _cmd_critical_path(args)
     obs = _make_obs(args)
     if args.command == "table1":
         from repro.experiments.table1 import render_table1

@@ -34,6 +34,7 @@ from typing import Generator
 import numpy as np
 
 from repro.core.manager import MigrationManager
+from repro.obs.causal.record import annotate
 from repro.simkernel.core import Event
 from repro.simkernel.events import Interrupt
 
@@ -182,7 +183,9 @@ class HybridManager(MigrationManager):
                 return
             eligible = self._push_eligible()
             if eligible.size == 0:
-                self._push_wakeup = self.env.event()
+                self._push_wakeup = annotate(
+                    self.env, self.env.event(), "idle.push_wait",
+                )
                 try:
                     yield self._push_wakeup
                 except Interrupt:
@@ -379,7 +382,9 @@ class HybridManager(MigrationManager):
         while True:
             if self._ondemand_depth > 0:
                 # Algorithm 4: suspended while a priority read is in flight.
-                self._pull_resume = self.env.event()
+                self._pull_resume = annotate(
+                    self.env, self.env.event(), "stall.ondemand_suspend",
+                )
                 yield self._pull_resume
                 continue
             batch = self._pull_priority_batch()

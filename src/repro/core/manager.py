@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.config import MigrationConfig
 from repro.metrics.collector import MetricsCollector
 from repro.netsim.flows import Fabric
+from repro.obs.causal.record import annotate
 from repro.simkernel.core import Environment, Event
 from repro.storage.pagecache import PageCache
 from repro.storage.virtualdisk import VirtualDisk
@@ -213,7 +214,9 @@ class MigrationManager:
                 with self.fabric.cause_scope(f"retry.{label}"):
                     events = make_events()
             done = self.env.all_of(events)
-            yield self.env.any_of([done, self.env.timeout(cfg.chunk_timeout)])
+            stall = annotate(self.env, self.env.timeout(cfg.chunk_timeout),
+                             "stall.chunk_timeout", label=label)
+            yield self.env.any_of([done, stall])
             if done.triggered:
                 return True
             for ev in events:
@@ -222,7 +225,8 @@ class MigrationManager:
             if attempt == cfg.retry_max:
                 return False
             self._emit_retry(label, attempt, delay)
-            yield self.env.timeout(delay)
+            yield annotate(self.env, self.env.timeout(delay),
+                           "retry.backoff", label=label)
             delay *= 2
         return False
 
@@ -245,14 +249,17 @@ class MigrationManager:
             else:
                 with self.fabric.cause_scope(f"retry.{label}"):
                     ev = make_message()
-            yield self.env.any_of([ev, self.env.timeout(cfg.chunk_timeout)])
+            stall = annotate(self.env, self.env.timeout(cfg.chunk_timeout),
+                             "stall.chunk_timeout", label=label)
+            yield self.env.any_of([ev, stall])
             if ev.triggered:
                 return True
             self._emit_timeout("message.timeout", label, attempt)
             if attempt == cfg.retry_max:
                 return False
             self._emit_retry(label, attempt, delay)
-            yield self.env.timeout(delay)
+            yield annotate(self.env, self.env.timeout(delay),
+                           "retry.backoff", label=label)
             delay *= 2
         return False
 
@@ -285,7 +292,8 @@ class MigrationManager:
                         mx.counter("repo.fetch.gaveup").inc()
                     raise
                 self._emit_retry(tag, attempt, delay)
-                yield self.env.timeout(delay)
+                yield annotate(self.env, self.env.timeout(delay),
+                               "retry.backoff", label=tag)
                 delay *= 2
                 attempt += 1
                 continue

@@ -23,6 +23,7 @@ import numpy as np
 from repro.netsim.fairness import maxmin_single_switch
 from repro.netsim.topology import Host, Topology
 from repro.netsim.traffic import TrafficMeter
+from repro.obs.causal.record import annotate
 from repro.simkernel.core import Environment, Event
 
 __all__ = ["NetFlow", "Fabric"]
@@ -195,6 +196,8 @@ class Fabric:
         # Handle back to the flow, so Fabric.cancel() can find and
         # abandon it from just the returned event.
         flow.done.flow = flow
+        annotate(self.env, flow.done, "net.flow",
+                 tag=tag, cause=cause, src=src.name, dst=dst.name)
         self._advance()
         self._flows.append(flow)
         self._recompute()
@@ -230,7 +233,8 @@ class Fabric:
         if mx.enabled:
             mx.counter(f"net.messages.{tag}").inc()
         wire = nbytes / cap
-        return self.env.timeout(self.latency + wire)
+        return annotate(self.env, self.env.timeout(self.latency + wire),
+                        "net.message", tag=tag, cause=cause)
 
     def cancel(self, done_event: Event) -> bool:
         """Abandon the in-flight flow behind ``done_event`` (a value
@@ -301,7 +305,8 @@ class Fabric:
         mx = self.env.metrics
         if mx.enabled:
             mx.counter("net.flows.blackholed").inc()
-        return Event(self.env)
+        return annotate(self.env, Event(self.env), "net.blackhole",
+                        tag=tag, cause=cause if cause is not None else tag)
 
     def rpc(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control"):
         """Generator helper: request + reply round trip."""

@@ -100,11 +100,18 @@ class Observability:
     detail:
         Tracer detail level (``"normal"`` or ``"full"``, see
         :class:`Tracer`).
+    causal:
+        Also record causal wait edges (``repro.obs.causal``) for
+        critical-path extraction.  Implies ``trace=True``.
     """
 
     def __init__(self, trace: bool = True, metrics: bool = True,
-                 detail: str = "normal"):
+                 detail: str = "normal", causal: bool = False):
+        if causal:
+            trace = True
         self.tracer = Tracer(detail=detail) if trace else NULL_TRACER
+        if causal:
+            self.tracer.enable_causal()
         self.metrics: MetricsRegistry | NullMetricsRegistry = (
             MetricsRegistry() if metrics else NULL_METRICS
         )

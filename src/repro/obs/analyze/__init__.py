@@ -38,6 +38,7 @@ from repro.obs.analyze.attribution import (
 from repro.obs.analyze.heatmap import chunk_fate_maps, render_ascii
 from repro.obs.analyze.phases import fault_windows, migration_timelines, phase_report
 from repro.obs.analyze.report import render_html, render_text
+from repro.obs.causal.critical import critical_paths
 
 __all__ = [
     "analyze_events",
@@ -45,6 +46,7 @@ __all__ = [
     "analyze_tracer",
     "attribution_from_pairs",
     "chunk_fate_maps",
+    "critical_paths",
     "fault_windows",
     "flow_stats",
     "load_trace",
@@ -117,12 +119,18 @@ def analyze_events(events: list) -> dict:
             if ev.get("name") == "traffic.snapshot" and ev.get("ph") == "i":
                 # The last snapshot wins (one per run scope in practice).
                 pairs = ev.get("args", {}).get("pairs")
+        phases = phase_report(lane, tid_names)
         runs.append({
             "label": pid_names.get(pid, f"run-{pid}"),
             "events": len(lane),
             "attribution": run_attribution(lane, pairs),
-            "phases": phase_report(lane, tid_names),
+            "phases": phases,
             "heatmaps": chunk_fate_maps(lane),
+            # Empty for plain traced runs; populated when the trace was
+            # recorded with causal wait edges (Observability(causal=True)).
+            "critical_path": critical_paths(
+                lane, tid_names, timelines=phases["migrations"],
+            ),
         })
     return {
         "schema": SCHEMA,
@@ -131,6 +139,10 @@ def analyze_events(events: list) -> dict:
             r["attribution"]["metered"] is None
             or r["attribution"]["metered"]["conservation"]["exact"]
             for r in runs
+        ),
+        "critical_path_ok": all(
+            cp["conservation"]["exact"]
+            for r in runs for cp in r["critical_path"]
         ),
     }
 

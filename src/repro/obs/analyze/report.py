@@ -130,6 +130,21 @@ def render_text(summary: dict) -> str:
                 f"  fault {win['kind']} on {win['target']}: "
                 f"{win['start_s']:.2f} → {end}"
             )
+        for att in run.get("critical_path") or []:
+            cons = att["conservation"]
+            verdict = "exact" if cons["exact"] else (
+                f"VIOLATED (residual {cons['residual_s']:g} s)"
+            )
+            out.append(
+                f"  critical path {att['vm']} attempt {att['attempt']}: "
+                f"{_fmt_s(att['wall_s'])} wall, conservation {verdict}"
+            )
+            for row in att["by_resource"]:
+                out.append(
+                    f"    {row['resource']}".ljust(26)
+                    + _fmt_s(row["seconds"]).rjust(10)
+                    + f"{100 * row['share']:.1f}%".rjust(8)
+                )
         for hm in run["heatmaps"]:
             out.append(
                 "  " + render_ascii(hm).replace("\n", "\n  ")
@@ -458,6 +473,131 @@ def _heatmap_chart(hm: dict) -> str:
     return "".join(parts) + note + "".join(table)
 
 
+#: Resource class → categorical slot for the critical-path lane.  Network
+#: classes reuse the matching cause colors (push is always s1, prefetch
+#: always s2, ...); stalls/backoff get the alarm hue via a direct color.
+_RESOURCE_SLOTS = {
+    "net.push": 1,
+    "net.prefetch": 2,
+    "net.demand": 3,
+    "net.repo": 4,
+    "net.memory": 5,
+    "net.workload": 6,
+    "net.control": 7,
+    "net.retry": 8,
+    "disk": 4,
+    "pagecache": 3,
+    "codec": 6,
+}
+
+
+def _resource_color(resource: str) -> str:
+    slot = _RESOURCE_SLOTS.get(resource)
+    if slot is not None:
+        return f"var(--s{slot})"
+    if resource.startswith("stall.") or resource == "retry.backoff":
+        return "var(--serious)"
+    return "var(--text-muted)"
+
+
+def _critical_chart(run: dict) -> str:
+    """Critical-path lane per attempt + the bottleneck ranking table."""
+    attempts = run.get("critical_path") or []
+    if not attempts:
+        return ""
+    t0 = min(att["start_s"] for att in attempts)
+    t1 = max(att["end_s"] for att in attempts)
+    span = max(t1 - t0, 1e-9)
+    width, label_w = 720, 150
+    row_h, gap = 22, 10
+    plot_w = width - label_w - 10
+    height = len(attempts) * (row_h + gap) + 22
+
+    def sx(t: float) -> float:
+        return label_w + plot_w * (t - t0) / span
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="critical path">'
+    ]
+    for q in range(5):
+        gx = label_w + plot_w * q / 4
+        tq = t0 + span * q / 4
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="0" x2="{gx:.1f}" '
+            f'y2="{height - 18}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{gx:.1f}" y="{height - 5}" text-anchor="middle" '
+            f'font-size="11" fill="var(--text-muted)">{tq:.1f}s</text>'
+        )
+    for i, att in enumerate(attempts):
+        y = i * (row_h + gap)
+        label = att["vm"] + (f" #{att['attempt'] + 1}" if att["attempt"] else "")
+        if att["aborted"]:
+            label += " ✕"
+        parts.append(
+            f'<text x="{label_w - 10}" y="{y + row_h - 7}" text-anchor="end" '
+            f'font-size="12" fill="var(--text-primary)">{escape(label)}</text>'
+        )
+        for seg in att["segments"]:
+            x = sx(seg["t0"])
+            w = max(sx(seg["t1"]) - x, 0.5)
+            dur = seg["t1"] - seg["t0"]
+            title = (f"{seg['resource']}: {seg['t0']:.3f}–{seg['t1']:.3f}s "
+                     f"({dur:.3f}s)")
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{row_h}" fill="{_resource_color(seg["resource"])}">'
+                f"<title>{escape(title)}</title></rect>"
+            )
+    parts.append("</svg>")
+    seen = []
+    for att in attempts:
+        for row in att["by_resource"]:
+            if row["resource"] not in seen:
+                seen.append(row["resource"])
+    legend = ['<div class="legend">']
+    for resource in seen:
+        legend.append(
+            f'<span><span class="sw" '
+            f'style="background:{_resource_color(resource)}"></span>'
+            f"{escape(resource)}</span>"
+        )
+    legend.append("</div>")
+    table = [
+        "<table>",
+        "<tr><th>attempt</th><th>resource</th><th>on critical path</th>"
+        "<th>share</th></tr>",
+    ]
+    for att in attempts:
+        who = att["vm"] + (f" #{att['attempt'] + 1}" if att["attempt"] else "")
+        for row in att["by_resource"]:
+            table.append(
+                f"<tr><td>{escape(who)}</td><td>{escape(row['resource'])}</td>"
+                f"<td>{row['seconds']:.3f} s</td>"
+                f"<td>{100 * row['share']:.1f}%</td></tr>"
+            )
+    table.append("</table>")
+    badges = []
+    for att in attempts:
+        cons = att["conservation"]
+        who = att["vm"] + (f" #{att['attempt'] + 1}" if att["attempt"] else "")
+        if cons["exact"]:
+            badges.append(
+                '<span class="badge good"><span class="dot">✓</span>'
+                f"{escape(who)}: segments sum exactly to "
+                f"{escape(_fmt_s(cons['wall_s']))} wall</span>"
+            )
+        else:
+            badges.append(
+                '<span class="badge bad"><span class="dot">✗</span>'
+                f"{escape(who)}: residual {cons['residual_s']:g} s</span>"
+            )
+    return (
+        "".join(legend) + "".join(parts)
+        + "<br>".join(badges) + "".join(table)
+    )
+
+
 def _conservation_badge(run: dict) -> str:
     metered = run["attribution"]["metered"]
     if metered is None:
@@ -523,6 +663,10 @@ def render_html(summary: dict, title: str = "Migration flight report") -> str:
         body.append(_cause_chart(cause_table(run)))
         body.append("<h3>Phase timeline</h3>")
         body.append(_phase_chart(run))
+        critical = _critical_chart(run)
+        if critical:
+            body.append("<h3>Critical path (why migration took this long)</h3>")
+            body.append(critical)
         for hm in run["heatmaps"]:
             vm = hm.get("vm") or "vm"
             body.append(

@@ -1,0 +1,82 @@
+"""``repro.obs.causal`` — happens-before recording + critical-path analysis.
+
+Answers *why migration took T seconds*.  Three pieces:
+
+* :mod:`~repro.obs.causal.record` — a :class:`CausalRecorder` hooked into
+  the kernel's process-resume path.  In this simulator a process's wall
+  time is composed entirely of waits (zero simulation time passes between
+  a resume and the next yield), so recording *what each wait ended on*
+  yields a happens-before DAG whose per-process wait intervals tile any
+  window exactly — conservation by construction.  Byte-moving call sites
+  tag the events they hand out with :func:`annotate` so the recorder can
+  name the resource (flow bandwidth grant, disk service, retry timer,
+  control message) instead of just the event type.
+* :mod:`~repro.obs.causal.critical` — walks the recorded DAG backwards
+  from each migration attempt's completion, decomposing its wall time
+  into contiguous segments attributed to resource classes, with an exact
+  :class:`fractions.Fraction` conservation check (segments sum to wall).
+* :mod:`~repro.obs.causal.whatif` — re-prices the extracted path with one
+  resource class sped up (``NIC=2``, ``stall.timeout=inf``) and reports
+  the bounded speedup.
+
+Surfacing: ``repro critical-path TRACE.json [--json] [--what-if R=F]``,
+the critical-path lane in the HTML flight report, and Perfetto flow
+arrows (``causal.handoff``) in the exported trace.
+"""
+
+from __future__ import annotations
+
+from repro.obs.causal.critical import critical_paths, classify
+from repro.obs.causal.record import CausalRecorder, annotate, describe
+from repro.obs.causal.whatif import parse_what_if, what_if
+
+__all__ = [
+    "CausalRecorder",
+    "annotate",
+    "classify",
+    "critical_path_summary",
+    "critical_paths",
+    "describe",
+    "parse_what_if",
+    "what_if",
+]
+
+SCHEMA = "repro.critical-path/1"
+
+
+def critical_path_summary(events: list, what_if_specs=()) -> dict:
+    """The ``repro critical-path`` document for a trace's event list.
+
+    Groups events into run lanes the same way the analyzer does, extracts
+    per-attempt critical paths, and optionally re-prices each attempt for
+    every ``(resource, factor)`` in ``what_if_specs``.  Deterministic:
+    identical traces produce identical documents.
+    """
+    from repro.obs.analyze import _name_maps
+
+    pid_names, tid_names = _name_maps(events)
+    by_pid: dict = {}
+    for ev in events:
+        if ev.get("ph") == "M":
+            continue
+        by_pid.setdefault(ev.get("pid"), []).append(ev)
+    runs = []
+    for pid in sorted(by_pid, key=lambda p: (p is None, p)):
+        lane = by_pid[pid]
+        attempts = critical_paths(lane, tid_names)
+        runs.append({
+            "label": pid_names.get(pid, f"run-{pid}"),
+            "attempts": attempts,
+            "what_if": [
+                what_if(att, res, fac)
+                for att in attempts for res, fac in what_if_specs
+            ],
+        })
+    return {
+        "schema": SCHEMA,
+        "runs": runs,
+        "conservation_ok": all(
+            a["conservation"]["exact"]
+            for r in runs for a in r["attempts"]
+        ),
+    }

@@ -53,11 +53,23 @@ class Event:
     unless it was marked :attr:`defused`.
     """
 
+    #: Simulation time the event triggered (``None`` while pending) and the
+    #: name of the process that called :meth:`succeed`, if any.  Class-level
+    #: defaults keep the per-event cost at zero until they are needed; the
+    #: causal recorder (``repro.obs.causal``) reads them to reconstruct
+    #: happens-before edges.
+    triggered_at: Optional[float] = None
+    succeeded_by: Optional[str] = None
+    #: Optional ``(resource_class, detail_dict)`` set by
+    #: :func:`repro.obs.causal.annotate` at byte-moving call sites.
+    _causal = None
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        self.created_at = env.now
         #: A failed event whose exception was consumed (e.g. by a condition)
         #: sets this to avoid the "unhandled failure" crash.
         self.defused = False
@@ -92,6 +104,10 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
+        self.triggered_at = self.env.now
+        active = self.env._active
+        if active is not None:
+            self.succeeded_by = active.name
         self.env._schedule(self, NORMAL)
         return self
 
@@ -103,6 +119,7 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
+        self.triggered_at = self.env.now
         self.env._schedule(self, NORMAL)
         return self
 
@@ -151,6 +168,7 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        self._wait_begin: Optional[float] = None
         self.started_at = env.now
         tr = env.tracer
         if tr.enabled:
@@ -210,6 +228,16 @@ class Process(Event):
         tr = self.env.tracer
         if tr.enabled and tr.verbose:
             tr.instant("process.resume", cat="kernel", tid=f"proc:{self.name}")
+        if tr.enabled and tr.causal is not None and self._wait_begin is not None:
+            # The wait that just ended.  ``_target`` is what the process was
+            # actually waiting on; on an interrupt the delivered ``event`` is
+            # the interrupt carrier, but the time was still spent on
+            # ``_target``, so prefer it for attribution.
+            tr.causal.record_wait(
+                self.name, self._wait_begin, self.env.now,
+                self._target if self._target is not None else event,
+            )
+            self._wait_begin = None
         self.env._active = self
         gen = self._generator
         while True:
@@ -252,6 +280,7 @@ class Process(Event):
                 continue
             next_ev.callbacks.append(self._resume)
             self._target = next_ev
+            self._wait_begin = self.env.now
             self.env._active = None
             return
 

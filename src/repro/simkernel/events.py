@@ -33,6 +33,9 @@ class Timeout(Event):
         self.delay = float(delay)
         self._ok = True
         self._value = value
+        # A timeout knows its firing time at construction; recording it here
+        # lets the causal recorder describe pending timers exactly.
+        self.triggered_at = env.now + self.delay
         env._schedule(self, NORMAL, delay=self.delay)
 
     def succeed(self, value: Any = None) -> Event:  # pragma: no cover

@@ -13,6 +13,7 @@ simulating individual requests.
 
 from __future__ import annotations
 
+from repro.obs.causal.record import annotate
 from repro.simkernel.core import Environment, Event
 
 __all__ = ["FluidShare", "FluidJob"]
@@ -80,6 +81,7 @@ class FluidShare:
         if nbytes == 0:
             job.done.succeed(0.0)
             return job.done
+        annotate(self.env, job.done, "fluid", name=self.name)
         self._advance()
         self._jobs.append(job)
         self._reschedule()

@@ -1,0 +1,56 @@
+"""CI smoke check: ``repro critical-path`` output matches the golden.
+
+Usage (what the CI smoke job runs)::
+
+    PYTHONPATH=src repro fig2 --causal --trace /tmp/fig2.json
+    PYTHONPATH=src repro critical-path /tmp/fig2.json --json \
+        --what-if nic=2 --what-if storage=2 > /tmp/cp.json
+    PYTHONPATH=src python -m tests.golden.check_critical_path /tmp/cp.json
+
+Both the CLI document and the committed fixture are passed through the
+golden 9-significant-digit float rounding before comparison, so the
+check pins structure and numbers without being hostage to sub-nano
+float noise; any real drift in the causal recorder, the extractor or
+the what-if pricing fails loudly with a JSON diff.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+
+from tests.golden.generate import FIXTURES, canonical_json
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fixture_path = FIXTURES / "fig2_critical_path.json"
+    if not fixture_path.exists():
+        print(f"error: missing fixture {fixture_path}; generate with "
+              "'PYTHONPATH=src python -m tests.golden.generate'",
+              file=sys.stderr)
+        return 2
+    actual = canonical_json(json.loads(open(argv[0]).read()))
+    expected = fixture_path.read_text()
+    if actual == expected:
+        print("critical-path output matches the golden fixture")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=str(fixture_path),
+        tofile=argv[0],
+    ))
+    print("error: critical-path output drifted from the golden fixture; "
+          "if intentional, regenerate with "
+          "'PYTHONPATH=src python -m tests.golden.generate'",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

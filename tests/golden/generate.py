@@ -124,8 +124,35 @@ def fig5_golden() -> dict:
     }
 
 
+#: What-if scenarios priced into the critical-path golden (resource, factor
+#: as accepted by ``repro critical-path --what-if``).
+CRITICAL_PATH_WHAT_IFS = ("nic=2", "storage=2")
+
+
+def fig2_critical_path_golden() -> dict:
+    """The full ``repro critical-path`` document for a causal fig2 run.
+
+    Pins the happens-before recording, the critical-path extraction and
+    the what-if pricing end to end: the same document the CLI emits for
+    ``repro fig2 --causal --trace t.json`` + ``repro critical-path
+    t.json --json`` (modulo the 9-sig-digit rounding applied to every
+    fixture; ``check_critical_path.py`` applies it to both sides).
+    """
+    from repro.experiments.fig2 import run_fig2
+    from repro.obs import Observability
+    from repro.obs.causal import critical_path_summary, parse_what_if
+    from repro.obs.export import chrome_trace
+
+    obs = Observability(trace=True, causal=True)
+    run_fig2("our-approach", seed=0, obs=obs)
+    events = chrome_trace(obs.tracer)["traceEvents"]
+    specs = [parse_what_if(s) for s in CRITICAL_PATH_WHAT_IFS]
+    return critical_path_summary(events, specs)
+
+
 GOLDENS = {
     "fig2": fig2_golden,
+    "fig2_critical_path": fig2_critical_path_golden,
     "fig3": fig3_golden,
     "fig4": fig4_golden,
     "fig5": fig5_golden,

@@ -1,0 +1,167 @@
+"""Tracer span integrity under Interrupt-driven aborts.
+
+Abort paths unwind through span context managers in whatever order the
+exception propagates — *not* the order the spans were opened.  The
+tracer records complete ("X") events at ``__exit__`` time, so
+out-of-order closure must still yield a well-formed Perfetto trace
+(non-negative durations, every span closed exactly once), and the
+fabric's ``cause_scope`` override stack must unwind cleanly when the
+scoped body raises.
+"""
+
+import json
+
+import pytest
+
+from repro.netsim.flows import Fabric
+from repro.netsim.topology import Topology
+from repro.obs import Observability
+from repro.obs.export import chrome_trace
+from repro.simkernel import Environment
+from repro.simkernel.events import Interrupt
+
+
+def _spans(events, name=None):
+    return [ev for ev in events
+            if ev.get("ph") == "X" and (name is None or ev["name"] == name)]
+
+
+class TestInterruptedSpans:
+    def _run_interrupted(self):
+        """A worker with nested spans, interrupted mid-inner-span."""
+        obs = Observability(trace=True)
+        env = Environment()
+        obs.tracer.bind(env)
+        seen = {}
+
+        def worker():
+            with obs.tracer.span("outer", tid="worker"):
+                yield env.timeout(1.0)
+                try:
+                    with obs.tracer.span("inner", tid="worker"):
+                        yield env.timeout(10.0)
+                except Interrupt as intr:
+                    seen["cause"] = intr.cause
+                    yield env.timeout(0.5)  # cleanup work inside "outer"
+
+        def aborter(proc):
+            yield env.timeout(3.0)
+            proc.interrupt(cause="abort")
+
+        proc = env.process(worker(), name="worker")
+        env.process(aborter(proc), name="aborter")
+        env.run()
+        return obs, env, seen
+
+    def test_interrupt_closes_inner_span_at_abort_time(self):
+        obs, env, seen = self._run_interrupted()
+        assert seen["cause"] == "abort"
+        events = chrome_trace(obs.tracer)["traceEvents"]
+        (inner,) = _spans(events, "inner")
+        (outer,) = _spans(events, "outer")
+        # Inner span ends when the interrupt unwound it (t=3.0), not when
+        # its awaited timeout would have fired (t=11.0).
+        assert inner["ts"] + inner["dur"] == pytest.approx(3.0 * 1e6)
+        # Outer closes after the cleanup work, containing the inner span.
+        assert outer["ts"] + outer["dur"] == pytest.approx(3.5 * 1e6)
+        assert outer["ts"] <= inner["ts"]
+
+    def test_trace_is_valid_json_with_nonnegative_durations(self):
+        obs, _env, _seen = self._run_interrupted()
+        doc = chrome_trace(obs.tracer)
+        round_tripped = json.loads(json.dumps(doc))
+        for ev in round_tripped["traceEvents"]:
+            if ev.get("ph") == "X":
+                assert ev["dur"] >= 0
+                assert isinstance(ev["ts"], (int, float))
+
+    def test_out_of_order_closure_across_processes(self):
+        """Spans on different lanes closed in reverse-open order."""
+        obs = Observability(trace=True)
+        env = Environment()
+        obs.tracer.bind(env)
+        procs = []
+
+        def holder(label, hold):
+            with obs.tracer.span("hold", tid=label):
+                try:
+                    yield env.timeout(hold)
+                except Interrupt:
+                    pass
+
+        def aborter():
+            # Interrupt in reverse order of creation: first-opened span
+            # (longest hold) closes last.
+            yield env.timeout(1.0)
+            for proc in reversed(procs):
+                proc.interrupt(cause="shutdown")
+                yield env.timeout(0.25)
+
+        for i in range(3):
+            procs.append(env.process(holder(f"p{i}", 100.0), name=f"p{i}"))
+        env.process(aborter(), name="aborter")
+        env.run()
+        events = chrome_trace(obs.tracer)["traceEvents"]
+        holds = _spans(events, "hold")
+        assert len(holds) == 3
+        ends = sorted(ev["ts"] + ev["dur"] for ev in holds)
+        assert ends == pytest.approx([1.0 * 1e6, 1.25 * 1e6, 1.5 * 1e6])
+        # All spans opened at t=0: identical ts, distinct tids.
+        assert {ev["ts"] for ev in holds} == {0.0}
+        assert len({ev["tid"] for ev in holds}) == 3
+
+    def test_causal_recording_survives_interrupts(self):
+        """With causal recording on, an interrupted wait attributes to
+        what the process was *actually waiting on*, and the trace still
+        exports cleanly."""
+        obs = Observability(trace=True, causal=True)
+        env = Environment()
+        obs.install(env)
+
+        def sleeper():
+            try:
+                yield env.timeout(50.0)
+            except Interrupt:
+                pass
+
+        def aborter(proc):
+            yield env.timeout(2.0)
+            proc.interrupt()
+
+        proc = env.process(sleeper(), name="sleeper")
+        env.process(aborter(proc), name="aborter")
+        env.run()
+        events = chrome_trace(obs.tracer)["traceEvents"]
+        waits = [ev for ev in events if ev.get("name") == "causal.wait"
+                 and ev["args"]["p"] == "sleeper"]
+        assert waits, "interrupted wait was not recorded"
+        (wait,) = waits
+        # The wait covers [0, 2] (interrupt delivery), described by the
+        # timer the sleeper was blocked on — not the interrupt itself.
+        assert wait["args"]["t0"] == 0.0
+        assert wait["args"]["t1"] == 2.0
+        assert wait["args"]["w"]["k"] == "timer"
+
+
+class TestCauseScopeUnwind:
+    def test_exception_pops_override(self):
+        env = Environment()
+        fabric = Fabric(env, Topology())
+        with pytest.raises(RuntimeError):
+            with fabric.cause_scope("retry.push"):
+                assert fabric._resolve_cause("push", "storage-push") == "retry.push"
+                raise RuntimeError("boom")
+        assert fabric._cause_override == []
+        assert fabric._resolve_cause("push", "storage-push") == "push"
+
+    def test_nested_scopes_unwind_in_order(self):
+        env = Environment()
+        fabric = Fabric(env, Topology())
+        with fabric.cause_scope("retry.outer"):
+            with pytest.raises(ValueError):
+                with fabric.cause_scope("retry.inner"):
+                    assert fabric._resolve_cause(None, "t") == "retry.inner"
+                    raise ValueError
+            # Inner popped; outer still active.
+            assert fabric._resolve_cause(None, "t") == "retry.outer"
+        assert fabric._cause_override == []

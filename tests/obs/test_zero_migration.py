@@ -1,0 +1,103 @@
+"""Regression: ``repro analyze`` on a zero-migrated-bytes trace.
+
+A migration that moves no bytes (instant convergence, or a trace cut
+before any transfer) must still analyze cleanly: every percentage
+renders as 0%, never ``nan`` or a ZeroDivisionError.  The synthetic
+trace below has migration lifecycle spans, an *empty* TrafficMeter
+snapshot, and no flow spans at all — the degenerate denominator in
+every share computation.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import (
+    analyze_events,
+    analyze_file,
+    render_html,
+    render_text,
+    summary_json,
+)
+
+US = 1e6
+
+
+def _zero_byte_trace() -> list[dict]:
+    """Chrome-trace events for one migration that moved zero bytes."""
+    pid, tid = 1, 1
+    meta = [
+        {"ph": "M", "pid": pid, "name": "process_name",
+         "args": {"name": "repro:zero-run"}},
+        {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+         "args": {"name": "migration:vm0"}},
+    ]
+    phases = [
+        {"ph": "X", "pid": pid, "tid": tid, "cat": "migration",
+         "name": name, "ts": ts * US, "dur": dur * US, "args": {}}
+        for name, ts, dur in [
+            ("request/setup", 1.0, 0.0),
+            ("memory + push", 1.0, 0.0),
+            ("sync", 1.0, 0.0),
+            ("downtime", 1.0, 0.0),
+            ("pull / post-control", 1.0, 0.0),
+        ]
+    ]
+    snapshot = [
+        {"ph": "i", "pid": pid, "tid": tid, "name": "traffic.snapshot",
+         "ts": 1.0 * US, "args": {"pairs": [], "total": 0.0}},
+    ]
+    return meta + phases + snapshot
+
+
+@pytest.fixture()
+def summary():
+    return analyze_events(_zero_byte_trace())
+
+
+class TestZeroMigratedBytes:
+    def test_analyzes_without_error(self, summary):
+        assert summary["conservation_ok"]
+        assert summary["critical_path_ok"]
+        (run,) = summary["runs"]
+        assert run["phases"]["migrations"]
+        metered = run["attribution"]["metered"]
+        assert metered["total_bytes"] == 0.0
+
+    def test_no_nan_in_any_rendering(self, summary):
+        for rendered in (render_text(summary), render_html(summary),
+                         summary_json(summary)):
+            assert "nan" not in rendered.lower()
+
+    def test_shares_are_zero_not_nan(self, summary):
+        (run,) = summary["runs"]
+        att = run["attribution"]
+        # flow_coverage divides traced bytes by metered total; with a
+        # zero total it must degrade to a defined value, never NaN.
+        assert att["flow_coverage"] == att["flow_coverage"]  # not NaN
+        assert att["metered"]["conservation"]["exact"]
+
+    def test_cli_analyze_round_trip(self, tmp_path, capsys):
+        """The full ``repro analyze`` path on a written trace file."""
+        from repro.cli import main
+
+        trace = tmp_path / "zero.json"
+        trace.write_text(json.dumps({"traceEvents": _zero_byte_trace()}))
+        html = tmp_path / "zero.html"
+        rc = main(["analyze", str(trace), "--check", "--html", str(html)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nan" not in out.lower()
+        assert "nan" not in html.read_text().lower()
+        # And the library loader agrees with the CLI.
+        file_summary = analyze_file(trace)
+        assert file_summary["conservation_ok"]
+
+    def test_zero_duration_spans_with_traffic_absent(self):
+        """No snapshot at all: metered section absent, still no nan."""
+        events = [ev for ev in _zero_byte_trace()
+                  if ev.get("name") != "traffic.snapshot"]
+        summary = analyze_events(events)
+        (run,) = summary["runs"]
+        assert run["attribution"]["metered"] is None
+        assert "nan" not in render_text(summary).lower()
