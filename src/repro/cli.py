@@ -207,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. nic=2, net.memory=4, stall.timeout=inf "
                             "(repeatable)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: static invariant checks (determinism, exactness, "
+             "cause tags, kernel safety, layering); see "
+             "docs/static-analysis.md",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -354,6 +364,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "critical-path":
         return _cmd_critical_path(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     obs = _make_obs(args)
     if args.command == "table1":
         from repro.experiments.table1 import render_table1

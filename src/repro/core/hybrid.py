@@ -163,7 +163,8 @@ class HybridManager(MigrationManager):
                        args={"remaining_chunks": int(self.remaining.sum()),
                              "threshold": self.config.threshold})
         # MIGRATION_NOTIFICATION to the destination.
-        yield self.fabric.message(self.host, peer.host, tag="control")
+        yield self.fabric.message(self.host, peer.host, tag="control",
+                                  cause="control")
         if self.push_enabled:
             self._push_stop = False
             self._push_proc = self.env.process(
@@ -304,6 +305,7 @@ class HybridManager(MigrationManager):
                 self.peer.host,
                 nbytes=16.0 * remaining_ids.size + 512,
                 tag="control",
+                cause="control",
             ),
             "transfer-io-control",
         )
@@ -439,7 +441,8 @@ class HybridManager(MigrationManager):
         # Pull request (control), then the pipelined data path: source
         # disk + source read path, fabric, destination write path + disk.
         ok = yield from self._message_attempts(
-            lambda: self.fabric.message(self.host, src.host, tag="control"),
+            lambda: self.fabric.message(self.host, src.host, tag="control",
+                                        cause="control"),
             "pull-request",
         )
         if not ok:
@@ -594,7 +597,8 @@ class HybridManager(MigrationManager):
         # Best effort: if the source is unreachable the data is all here
         # anyway; release locally so the migration record completes.
         yield from self._message_attempts(
-            lambda: self.fabric.message(self.host, src.host, tag="control"),
+            lambda: self.fabric.message(self.host, src.host, tag="control",
+                                        cause="control"),
             "release",
         )
         if not src.release_event.triggered:

@@ -279,10 +279,12 @@ class MigrationManager:
         while True:
             try:
                 if attempt == 0:
-                    ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
+                    ev = self.repo.fetch(chunk_ids, self.host, tag=tag,
+                                         cause="repo.fetch")
                 else:
                     with self.fabric.cause_scope(f"retry.{tag}"):
-                        ev = self.repo.fetch(chunk_ids, self.host, tag=tag)
+                        ev = self.repo.fetch(chunk_ids, self.host, tag=tag,
+                                             cause="repo.fetch")
             except RepositoryUnavailable:
                 mx = self.env.metrics
                 if mx.enabled:
@@ -380,7 +382,8 @@ class MigrationManager:
         peer = self.spawn_peer(dst_node)
         self.is_source = True
         peer.is_destination = True
-        yield self.fabric.message(self.host, peer.host, tag="control")
+        yield self.fabric.message(self.host, peer.host, tag="control",
+                                  cause="control")
 
     def ready_for_control(self) -> bool:
         """May the hypervisor enter the stop-and-copy phase?"""

@@ -43,7 +43,8 @@ class MirrorManager(MigrationManager):
         peer = self.spawn_peer(dst_node)
         self.is_source = True
         peer.is_destination = True
-        yield self.fabric.message(self.host, peer.host, tag="control")
+        yield self.fabric.message(self.host, peer.host, tag="control",
+                                  cause="control")
         self._mirroring = True
         self._bulk_proc = self.env.process(
             self._bulk_copy(), name=f"mirror-bulk:{self.vm.name}"

@@ -73,7 +73,8 @@ class PrecopyManager(MigrationManager):
         if self.config.precopy_flatten:
             self.dirty |= self.vdisk.base_allocated_mask()
         self._request_at = self.env.now
-        yield self.fabric.message(self.host, peer.host, tag="control")
+        yield self.fabric.message(self.host, peer.host, tag="control",
+                                  cause="control")
         self._sync_stop = False
         self._sync_proc = self.env.process(
             self._background_sync(), name=f"blkmig:{self.vm.name}"

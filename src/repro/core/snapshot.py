@@ -74,7 +74,8 @@ class SnapshotService:
         versions = manager.chunks.version[chunk_ids].copy()
         t0 = manager.env.now
         yield manager.vdisk.load(chunk_ids)
-        yield self.repository.store(chunk_ids, manager.host)
+        yield self.repository.store(chunk_ids, manager.host,
+                                    tag="repo-store", cause="repo.store")
         tr = manager.env.tracer
         if tr.enabled:
             tr.complete("snapshot.take", t0, manager.env.now, cat="snapshot",
@@ -108,7 +109,8 @@ class SnapshotService:
         if len(ids) == 0:
             return
         t0 = manager.env.now
-        yield self.repository.fetch(ids, manager.host, tag="repo-fetch")
+        yield self.repository.fetch(ids, manager.host, tag="repo-fetch",
+                                    cause="repo.fetch")
         tr = manager.env.tracer
         if tr.enabled:
             tr.complete("snapshot.restore", t0, manager.env.now,

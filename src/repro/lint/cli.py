@@ -1,0 +1,48 @@
+"""Argument handling for ``repro lint`` (and ``python -m repro.lint``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import lint_paths, render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic JSON report instead of text",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RULE",
+        help="restrict to a rule id (C301) or family letter (D); "
+             "repeatable",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    result = lint_paths(args.paths, rules=args.rule)
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="simlint: static invariant checks for the simulation "
+                    "stack (determinism, exactness, cause tags, kernel "
+                    "safety, layering)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Lint configuration: which rules apply where.
+
+The defaults encode this repository's invariants; fixture files (and
+future out-of-tree users) can re-scope individual files with the
+``# simlint: module=<dotted.name>`` pragma, which overrides the module
+identity the scoping below is matched against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_layers() -> dict[str, int]:
+    # The layer DAG, low to high.  A module may import same-or-lower
+    # layers only; packages not listed here (obs, metrics, faults, lint)
+    # are cross-cutting infrastructure and unconstrained.
+    return {
+        "repro.simkernel": 0,
+        "repro.netsim": 1,
+        "repro.storage": 2,
+        "repro.repository": 2,
+        "repro.hypervisor": 2,
+        "repro.workloads": 2,
+        "repro.core": 3,
+        "repro.cluster": 4,
+        "repro.experiments": 5,
+        "repro.cli": 6,
+    }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scoping knobs for the five rule families."""
+
+    #: D rules apply to modules under these prefixes: the simulation
+    #: stack proper, where any nondeterminism breaks bit-identical reruns.
+    determinism_modules: tuple[str, ...] = (
+        "repro.simkernel",
+        "repro.netsim",
+        "repro.core",
+        "repro.hypervisor",
+        "repro.workloads",
+    )
+
+    #: X rules apply to these modules (plus any carrying a
+    #: ``# simlint: exact`` pragma): the Fraction-exact accounting code.
+    exact_modules: tuple[str, ...] = (
+        "repro.obs.analyze.attribution",
+        "repro.obs.causal.critical",
+        "repro.obs.causal.whatif",
+    )
+
+    #: K rules apply to generator functions in modules under these
+    #: prefixes — anything that may run as a simulation process.
+    kernel_modules: tuple[str, ...] = (
+        "repro.simkernel",
+        "repro.netsim",
+        "repro.core",
+        "repro.hypervisor",
+        "repro.workloads",
+        "repro.storage",
+        "repro.repository",
+        "repro.cluster",
+    )
+
+    #: Layer ranks for the S rules (longest-prefix match).
+    layers: dict[str, int] = field(default_factory=_default_layers)
+
+    #: Receiver-name suffixes identifying the byte-moving surfaces for
+    #: the C rules: ``<receiver>.<method>(...)`` must pass the required
+    #: keywords explicitly when the receiver's final attribute segment
+    #: matches (exactly, or with a ``_`` prefix word, e.g.
+    #: ``traffic_meter``).
+    fabric_receivers: tuple[str, ...] = ("fabric",)
+    repo_receivers: tuple[str, ...] = ("repo", "repository")
+    meter_receivers: tuple[str, ...] = ("meter",)
+
+    def layer_of(self, module: str) -> int | None:
+        """Layer rank of ``module`` by longest prefix match, if mapped."""
+        best = None
+        best_len = -1
+        for prefix, rank in self.layers.items():
+            if module == prefix or module.startswith(prefix + "."):
+                if len(prefix) > best_len:
+                    best, best_len = rank, len(prefix)
+        return best
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in prefixes
+    )

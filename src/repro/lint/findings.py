@@ -1,0 +1,42 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One simlint diagnostic.
+
+    Orders by location first so rendered output is stable regardless of
+    the order rules ran in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    suppressed: bool = field(default=False, compare=False)
+
+    def as_dict(self) -> dict:
+        out = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+        return out
+
+    def render(self) -> str:
+        sup = " (suppressed)" if self.suppressed else ""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{sup}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

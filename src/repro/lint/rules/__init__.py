@@ -1,0 +1,23 @@
+"""Rule registry: one module per family, one ``check`` entry point each."""
+
+from __future__ import annotations
+
+from repro.lint.rules import (
+    causetags,
+    determinism,
+    exactness,
+    kernelsafety,
+    structure,
+)
+
+#: family letter -> check(ctx) callable.  Order is the report order for
+#: same-location findings.
+ALL_RULES = {
+    "D": determinism.check,
+    "X": exactness.check,
+    "C": causetags.check,
+    "K": kernelsafety.check,
+    "S": structure.check,
+}
+
+__all__ = ["ALL_RULES"]

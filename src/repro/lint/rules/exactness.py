@@ -1,0 +1,76 @@
+"""X — exactness rules.
+
+Modules that implement the conservation checks (byte attribution,
+critical-path decomposition) do their accounting on
+:class:`fractions.Fraction` so equality is exact by construction.  A
+float literal or ``math.*`` call slipping into that arithmetic turns the
+exact check into an epsilon comparison — silently.  These rules keep
+float coercions at the declared presentation boundary.
+
+A module is exact when listed in ``LintConfig.exact_modules`` or when it
+carries a ``# simlint: exact`` pragma.  Genuine float boundaries (e.g.
+parsing microsecond trace timestamps) suppress per line with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, resolved_name
+
+_HINT_FRACTION = ("exact accounting is Fraction-only; convert at the "
+                  "boundary with Fraction(...) or suppress with a reason "
+                  "if this line genuinely lives in float-land")
+
+
+def check(ctx: FileContext) -> list[Finding]:
+    if ctx.module not in ctx.config.exact_modules and not ctx.pragmas.exact:
+        return []
+    out: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            mods = ([alias.name for alias in node.names]
+                    if isinstance(node, ast.Import) else [node.module or ""])
+            if any(mod.split(".")[0] == "math" for mod in mods):
+                out.append(ctx.finding(node, "X202",
+                                       "'math' imported in an exact module",
+                                       _HINT_FRACTION))
+        elif isinstance(node, (ast.Attribute, ast.Name)):
+            name = resolved_name(ctx, node)
+            if name and name.startswith("math."):
+                out.append(ctx.finding(node, "X202",
+                                       f"'{name}' in exact accounting",
+                                       _HINT_FRACTION))
+        elif isinstance(node, ast.BinOp):
+            for side in (node.left, node.right):
+                if _is_float_literal(side):
+                    out.append(ctx.finding(side, "X201",
+                                           "float literal in exact arithmetic",
+                                           _HINT_FRACTION))
+                elif _is_float_call(side):
+                    out.append(ctx.finding(side, "X203",
+                                           "float() coercion feeding exact "
+                                           "arithmetic", _HINT_FRACTION))
+        elif isinstance(node, ast.AugAssign):
+            if _is_float_literal(node.value):
+                out.append(ctx.finding(node.value, "X201",
+                                       "float literal in exact arithmetic",
+                                       _HINT_FRACTION))
+            elif _is_float_call(node.value):
+                out.append(ctx.finding(node.value, "X203",
+                                       "float() coercion feeding exact "
+                                       "arithmetic", _HINT_FRACTION))
+    return out
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_float_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float")

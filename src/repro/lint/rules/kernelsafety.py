@@ -1,0 +1,132 @@
+"""K — kernel-safety rules.
+
+Generator functions inside the simulation packages may run as kernel
+processes: their ``yield`` targets must be kernel :class:`Event` objects
+and their bodies must not block on real-world I/O — a ``print`` or
+``open`` inside a process body runs once per simulated event, couples
+simulated behaviour to the host filesystem/tty, and (for writes) breaks
+run-to-run determinism of any artifact diffing.
+
+Decorated generators (``@contextmanager``, ``@pytest.fixture``,
+``@property``) are not kernel processes and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import in_scope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    FileContext,
+    decorator_names,
+    iter_function_defs,
+    own_yields,
+    resolved_name,
+)
+
+_HINT_IO = ("simulation processes must not touch real I/O; report via "
+            "env.tracer / env.metrics or return data to the caller")
+_HINT_YIELD = ("kernel processes may only yield Event objects (timeouts, "
+               "transfers, conditions); a literal here would crash the "
+               "scheduler at runtime")
+
+_EXEMPT_DECORATORS = {"contextmanager", "asynccontextmanager", "fixture",
+                      "property", "cached_property"}
+
+#: Builtins that block or leak outside the simulation.
+_BLOCKING_BUILTINS = {"open", "print", "input", "breakpoint", "exec", "eval"}
+
+#: Resolved dotted prefixes that block (any attribute below them).
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "shutil.")
+_BLOCKING_EXACT = {"os.system", "os.popen", "os.remove", "os.unlink",
+                   "time.sleep", "sys.stdout.write", "sys.stderr.write"}
+
+
+def check(ctx: FileContext) -> list[Finding]:
+    if not in_scope(ctx.module, ctx.config.kernel_modules):
+        return []
+    out: list[Finding] = []
+    for fn in iter_function_defs(ctx.tree):
+        yields = own_yields(fn)
+        if not yields:
+            continue
+        if decorator_names(fn) & _EXEMPT_DECORATORS:
+            continue
+        unreachable = _unreachable_yields(fn)
+        out.extend(_check_blocking(ctx, fn))
+        for y in yields:
+            if y in unreachable:
+                continue
+            out.extend(_check_yield(ctx, y))
+    return out
+
+
+def _unreachable_yields(fn: ast.FunctionDef) -> set[ast.expr]:
+    """Yields in the ``return``-then-``yield`` empty-generator idiom.
+
+    A bare ``yield`` directly after a ``return`` in the same statement
+    block never runs — it only turns the function into a generator (the
+    standard way to write a do-nothing lifecycle hook) and is exempt
+    from K402.
+    """
+    out: set[ast.expr] = set()
+    for node in ast.walk(fn):
+        for block in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, block, None)
+            if not isinstance(stmts, list):
+                continue
+            for prev, cur in zip(stmts, stmts[1:]):
+                if (isinstance(prev, ast.Return)
+                        and isinstance(cur, ast.Expr)
+                        and isinstance(cur.value, ast.Yield)
+                        and cur.value.value is None):
+                    out.add(cur.value)
+    return out
+
+
+def _check_blocking(ctx: FileContext, fn: ast.FunctionDef) -> list[Finding]:
+    out: list[Finding] = []
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested defs are linted on their own merits
+        stack.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name):
+            if node.func.id in _BLOCKING_BUILTINS:
+                out.append(ctx.finding(
+                    node, "K401",
+                    f"blocking call '{node.func.id}(...)' inside the "
+                    f"process generator '{fn.name}'", _HINT_IO))
+            continue
+        name = resolved_name(ctx, node.func)
+        if name is None:
+            continue
+        if name in _BLOCKING_EXACT or name.startswith(_BLOCKING_PREFIXES):
+            out.append(ctx.finding(
+                node, "K401",
+                f"blocking call '{name}(...)' inside the process "
+                f"generator '{fn.name}'", _HINT_IO))
+    return out
+
+
+def _check_yield(ctx: FileContext, node: ast.expr) -> list[Finding]:
+    if isinstance(node, ast.YieldFrom):
+        return []  # delegation: the inner generator is checked itself
+    assert isinstance(node, ast.Yield)
+    value = node.value
+    if value is None:
+        return [ctx.finding(node, "K402",
+                            "bare 'yield' in a process generator",
+                            _HINT_YIELD)]
+    if isinstance(value, ast.Constant) or isinstance(
+            value, (ast.List, ast.Tuple, ast.Dict, ast.Set,
+                    ast.ListComp, ast.DictComp, ast.SetComp,
+                    ast.GeneratorExp, ast.JoinedStr)):
+        return [ctx.finding(node, "K402",
+                            "process generator yields a literal, not an "
+                            "Event", _HINT_YIELD)]
+    return []

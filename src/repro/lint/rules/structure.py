@@ -1,0 +1,58 @@
+"""S — structure rules.
+
+The simulation stack is layered: ``simkernel`` at the bottom, then
+``netsim``, then the storage/hypervisor/repository/workload models, then
+``core`` (migration strategies), ``cluster`` and finally
+``experiments``/``cli``.  An import that points *up* this DAG couples a
+mechanism to its policy — the classic inversion that makes the kernel
+untestable in isolation and turns refactors into dependency knots.
+
+Cross-cutting packages (``obs``, ``metrics``, ``faults``, ``lint``) are
+deliberately unranked and may be imported from anywhere.  Imports inside
+``if TYPE_CHECKING:`` blocks are annotations-only and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext
+
+_HINT = ("the layer DAG is simkernel <- netsim <- storage/hypervisor/"
+         "repository/workloads <- core <- cluster <- experiments; move "
+         "the shared piece down a layer or invert the dependency "
+         "(callback, event, protocol)")
+
+
+def check(ctx: FileContext) -> list[Finding]:
+    my_layer = ctx.config.layer_of(ctx.module)
+    if my_layer is None:
+        return []
+    out: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            targets = [node.module] if node.module else []
+        elif isinstance(node, ast.ImportFrom) and node.level > 0:
+            # Relative import: resolve against this module's package.
+            parts = ctx.module.split(".")
+            base = parts[: len(parts) - node.level]
+            if base:
+                targets = [".".join(base + ([node.module] if node.module
+                                            else []))]
+        if not targets:
+            continue
+        if node.lineno in ctx.type_checking_lines:
+            continue
+        for target in targets:
+            their_layer = ctx.config.layer_of(target)
+            if their_layer is not None and their_layer > my_layer:
+                out.append(ctx.finding(
+                    node, "S501",
+                    f"'{ctx.module}' (layer {my_layer}) imports "
+                    f"'{target}' (layer {their_layer}) — upward "
+                    "dependency inverts the layer DAG", _HINT))
+    return out

@@ -223,7 +223,7 @@ class Fabric:
         if cap <= 0:
             # Fully partitioned link: the message is lost in transit.
             return self._black_hole(src, dst, tag, cause)
-        self.meter.add(tag, nbytes, cause)
+        self.meter.add(tag, nbytes, cause=cause)
         tr = self.env.tracer
         if tr.enabled and tr.verbose:
             tr.instant(f"message:{tag}", cat="net", tid="net:control",
@@ -308,10 +308,11 @@ class Fabric:
         return annotate(self.env, Event(self.env), "net.blackhole",
                         tag=tag, cause=cause if cause is not None else tag)
 
-    def rpc(self, src: Host, dst: Host, nbytes: float = 512, tag: str = "control"):
+    def rpc(self, src: Host, dst: Host, nbytes: float = 512,
+            tag: str = "control", cause: Optional[str] = None):
         """Generator helper: request + reply round trip."""
-        yield self.message(src, dst, nbytes, tag=tag)
-        yield self.message(dst, src, nbytes, tag=tag)
+        yield self.message(src, dst, nbytes, tag=tag, cause=cause)
+        yield self.message(dst, src, nbytes, tag=tag, cause=cause)
 
     # -- internals -----------------------------------------------------------
     def _advance(self) -> None:
@@ -325,7 +326,7 @@ class Fabric:
             moved = min(fl.rate * dt, fl.remaining)
             fl.remaining -= moved
             fl._accounted += moved
-            self.meter.add(fl.tag, moved, fl.cause)
+            self.meter.add(fl.tag, moved, cause=fl.cause)
             if fl.remaining <= _DONE_EPS:
                 fl.remaining = 0.0
                 finished.append(fl)
@@ -335,7 +336,8 @@ class Fabric:
             self._flows.remove(fl)
             # Credit any residual rounding so accounting is exact.
             if fl._accounted < fl.nbytes:
-                self.meter.add(fl.tag, fl.nbytes - fl._accounted, fl.cause)
+                self.meter.add(fl.tag, fl.nbytes - fl._accounted,
+                               cause=fl.cause)
                 fl._accounted = fl.nbytes
             if tr.enabled:
                 tr.async_span(

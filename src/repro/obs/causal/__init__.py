@@ -26,6 +26,14 @@ arrows (``causal.handoff``) in the exported trace.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Sequence
+    from fractions import Fraction
+
+    from repro.obs.causal.whatif import _Inf
+
 from repro.obs.causal.critical import critical_paths, classify
 from repro.obs.causal.record import CausalRecorder, annotate, describe
 from repro.obs.causal.whatif import parse_what_if, what_if
@@ -44,7 +52,10 @@ __all__ = [
 SCHEMA = "repro.critical-path/1"
 
 
-def critical_path_summary(events: list, what_if_specs=()) -> dict:
+def critical_path_summary(
+    events: list,
+    what_if_specs: "Sequence[tuple[str, Fraction | _Inf]]" = (),
+) -> dict:
     """The ``repro critical-path`` document for a trace's event list.
 
     Groups events into run lanes the same way the analyzer does, extracts

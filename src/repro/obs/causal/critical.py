@@ -18,6 +18,7 @@ extractor snaps the window to the nearest wait boundary within
 
 from __future__ import annotations
 
+# simlint: exact -- segment sums must tile the wall clock with zero residual
 from fractions import Fraction
 from typing import Optional
 
@@ -77,7 +78,7 @@ def classify(desc: dict) -> Optional[str]:
 class _Wait:
     __slots__ = ("t0", "t1", "desc")
 
-    def __init__(self, t0: Fraction, t1: Fraction, desc: dict):
+    def __init__(self, t0: Fraction, t1: Fraction, desc: dict) -> None:
         self.t0 = t0
         self.t1 = t1
         self.desc = desc

@@ -19,7 +19,11 @@ producer's lane to the consumer's.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
+    from repro.simkernel.core import Environment, Event
 
 __all__ = ["CausalRecorder", "annotate", "describe"]
 
@@ -31,7 +35,7 @@ _US = 1e6
 _MAX_DEPTH = 4
 
 
-def annotate(env, event, cls: str, **detail: Any):
+def annotate(env: "Environment", event: "Event", cls: str, **detail: Any) -> "Event":
     """Tag ``event`` with a causal resource class (no-op unless recording).
 
     Call at the site that hands a wait target to a consumer, e.g.::
@@ -46,7 +50,7 @@ def annotate(env, event, cls: str, **detail: Any):
     return event
 
 
-def describe(event, depth: int = 0) -> dict:
+def describe(event: "Event", depth: int = 0) -> dict:
     """A JSON-safe description of an event for causal attribution.
 
     Annotated events report their resource class + detail; structural
@@ -91,7 +95,7 @@ def describe(event, depth: int = 0) -> dict:
     return desc
 
 
-def _stamp(desc: dict, event) -> None:
+def _stamp(desc: dict, event: "Event") -> None:
     t0 = getattr(event, "created_at", None)
     t1 = getattr(event, "triggered_at", None)
     if t0 is not None:
@@ -105,11 +109,11 @@ class CausalRecorder:
 
     __slots__ = ("_tracer", "_flow_seq")
 
-    def __init__(self, tracer):
+    def __init__(self, tracer: "Tracer") -> None:
         self._tracer = tracer
         self._flow_seq = 0
 
-    def record_wait(self, proc: str, t0: float, t1: float, woke) -> None:
+    def record_wait(self, proc: str, t0: float, t1: float, woke: "Event") -> None:
         """One finished wait of process ``proc`` over ``[t0, t1]`` on ``woke``.
 
         Zero-duration waits carry no time and are skipped (they would
@@ -125,7 +129,7 @@ class CausalRecorder:
         )
         self._emit_handoff(proc, t1, woke)
 
-    def _emit_handoff(self, proc: str, t1: float, woke) -> None:
+    def _emit_handoff(self, proc: str, t1: float, woke: "Event") -> None:
         """Flow arrow when another process produced the wakeup."""
         from repro.simkernel.core import Process
 

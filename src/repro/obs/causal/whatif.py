@@ -11,6 +11,7 @@ upper bound (it is exact when the sped-up resource stays critical).
 
 from __future__ import annotations
 
+# simlint: exact -- re-priced walls reuse the exact decomposition
 from fractions import Fraction
 
 __all__ = ["parse_what_if", "what_if", "RESOURCE_GROUPS"]
@@ -25,7 +26,7 @@ RESOURCE_GROUPS = {
 }
 
 
-def parse_what_if(spec: str) -> tuple[str, Fraction]:
+def parse_what_if(spec: str) -> "tuple[str, Fraction | _Inf]":
     """``"NIC=2"`` → ``("nic", Fraction(2))``; ``"X=inf"`` allowed."""
     if "=" not in spec:
         raise ValueError(
@@ -64,7 +65,7 @@ def _matches(resource_spec: str, resource: str) -> bool:
     return resource == resource_spec
 
 
-def what_if(attempt: dict, resource_spec: str, factor) -> dict:
+def what_if(attempt: dict, resource_spec: str, factor: "Fraction | _Inf") -> dict:
     """Bounded speedup for one attempt with ``resource_spec`` sped up.
 
     ``attempt`` is one entry of

@@ -39,7 +39,7 @@ NORMAL = 1
 class StopSimulation(Exception):
     """Raised internally to end :meth:`Environment.run` early."""
 
-    def __init__(self, value: Any = None):
+    def __init__(self, value: Any = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -64,7 +64,7 @@ class Event:
     #: :func:`repro.obs.causal.annotate` at byte-moving call sites.
     _causal = None
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
@@ -161,7 +161,7 @@ class Process(Event):
     ``yield proc`` to join it.
     """
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         super().__init__(env)
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -297,7 +297,7 @@ class Environment:
         Starting value of :attr:`now` (seconds).
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -321,7 +321,7 @@ class Environment:
         return self._active
 
     @property
-    def active_process_generator(self):
+    def active_process_generator(self) -> Optional[Generator]:
         return self._active._generator if self._active is not None else None
 
     # -- factories ---------------------------------------------------------

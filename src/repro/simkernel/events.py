@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.simkernel.core import NORMAL, Environment, Event
 
@@ -15,7 +15,7 @@ class Interrupt(Exception):
     :attr:`cause` carries whatever the interrupter passed.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
 
     @property
@@ -26,7 +26,7 @@ class Interrupt(Exception):
 class Timeout(Event):
     """An event that fires a fixed ``delay`` after creation."""
 
-    def __init__(self, env: Environment, delay: float, value: Any = None):
+    def __init__(self, env: Environment, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
@@ -54,7 +54,12 @@ class Condition(Event):
     condition consumes it).
     """
 
-    def __init__(self, env: Environment, evaluate, events: list[Event]):
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[list[Event], int], bool],
+        events: list[Event],
+    ) -> None:
         super().__init__(env)
         self._evaluate = evaluate
         self._events = list(events)
@@ -104,12 +109,12 @@ class Condition(Event):
 class AnyOf(Condition):
     """Fires when the first of ``events`` fires."""
 
-    def __init__(self, env: Environment, events: list[Event]):
+    def __init__(self, env: Environment, events: list[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
 
 
 class AllOf(Condition):
     """Fires when every one of ``events`` has fired."""
 
-    def __init__(self, env: Environment, events: list[Event]):
+    def __init__(self, env: Environment, events: list[Event]) -> None:
         super().__init__(env, Condition.all_events, events)

@@ -31,7 +31,7 @@ class FluidJob:
 
     __slots__ = ("nbytes", "remaining", "weight", "done", "started_at")
 
-    def __init__(self, env: Environment, nbytes: float, weight: float):
+    def __init__(self, env: Environment, nbytes: float, weight: float) -> None:
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.weight = float(weight)
@@ -42,7 +42,7 @@ class FluidJob:
 class FluidShare:
     """A processor-sharing fluid server of fixed ``capacity`` bytes/second."""
 
-    def __init__(self, env: Environment, capacity: float, name: str = ""):
+    def __init__(self, env: Environment, capacity: float, name: str = "") -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env

@@ -20,7 +20,7 @@ __all__ = ["Resource", "Store", "Container"]
 class _Request(Event):
     """An event granted when the resource admits this request."""
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
 
@@ -46,7 +46,7 @@ class Resource:
             res.release(req)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
@@ -90,7 +90,7 @@ class Store:
     it is empty.  Used as the mailbox primitive for inter-node messages.
     """
 
-    def __init__(self, env: Environment, capacity: float = float("inf")):
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.env = env
@@ -137,7 +137,7 @@ class Container:
         env: Environment,
         capacity: float = float("inf"),
         init: float = 0.0,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if not 0 <= init <= capacity:

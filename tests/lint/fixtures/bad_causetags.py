@@ -1,0 +1,22 @@
+# simlint: module=repro.core.fixture
+"""Byte-moving calls with implicit attribution: every C rule fires."""
+
+
+def push_batch(fabric, src, dst, nbytes):
+    return fabric.transfer(src, dst, nbytes, tag="storage-push")
+
+
+def notify(fabric, src, dst):
+    return fabric.message(src, dst, tag="control")
+
+
+def lazy_fetch(repo, ids, host):
+    return repo.fetch(ids, host, tag="repo-fetch")
+
+
+def persist(repository, ids, host):
+    return repository.store(ids, host, tag="repo-store")
+
+
+def credit(meter, nbytes):
+    meter.add("memory", nbytes)

@@ -1,0 +1,30 @@
+# simlint: module=repro.simkernel.fixture
+"""Deliberately nondeterministic simulation code: every D rule fires."""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_stamp():
+    return time.time()
+
+
+def calendar_stamp():
+    return datetime.datetime.now()
+
+
+def unseeded_draws():
+    a = random.random()
+    b = np.random.rand(4)
+    rng = np.random.default_rng()
+    return a, b, rng
+
+
+def hash_order(chunks):
+    order = []
+    for chunk in set(chunks):
+        order.append(chunk)
+    return order

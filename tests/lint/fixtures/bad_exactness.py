@@ -1,0 +1,16 @@
+# simlint: module=repro.obs.analyze.fixture
+# simlint: exact
+"""Float drift in code declared exact: every X rule fires."""
+
+import math
+
+from fractions import Fraction
+
+
+def drifting_total(values):
+    total = Fraction(0)
+    for v in values:
+        total += Fraction(v)
+    scaled = total * 0.5
+    rounded = float(total) / 3
+    return scaled, rounded, math.fsum(values)

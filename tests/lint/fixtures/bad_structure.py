@@ -1,0 +1,9 @@
+# simlint: module=repro.simkernel.fixture
+"""The kernel importing migration policy: the S rule fires."""
+
+from repro.core.config import MigrationConfig
+from repro.experiments.config import IOR_MAX_READ
+
+
+def coupled(config: MigrationConfig) -> float:
+    return config.threshold * IOR_MAX_READ

@@ -1,0 +1,35 @@
+# simlint: module=repro.core.fixture
+"""Fully attributed byte-moving calls — C stays quiet.
+
+Also exercises the receiver heuristic's negative space: a set named
+``parameters`` and a fluid share are not byte-moving surfaces.
+"""
+
+
+def push_batch(fabric, src, dst, nbytes):
+    return fabric.transfer(src, dst, nbytes, tag="storage-push", cause="push")
+
+
+def notify(fabric, src, dst):
+    return fabric.message(src, dst, tag="control", cause="control")
+
+
+def lazy_fetch(repo, ids, host):
+    return repo.fetch(ids, host, tag="repo-fetch", cause="repo.fetch")
+
+
+def persist(repository, ids, host):
+    return repository.store(ids, host, tag="repo-store", cause="repo.store")
+
+
+def credit(traffic_meter, nbytes):
+    traffic_meter.add("memory", nbytes, cause="memory")
+
+
+def forwarded(fabric, src, dst, nbytes, **kw):
+    return fabric.transfer(src, dst, nbytes, **kw)
+
+
+def not_a_surface(parameters, share, nbytes):
+    parameters.add("push_batch")
+    return share.transfer(nbytes, weight=2.0)

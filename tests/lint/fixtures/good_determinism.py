@@ -1,0 +1,16 @@
+# simlint: module=repro.simkernel.fixture
+"""Deterministic counterpart: seeded RNG, sorted iteration — D stays quiet."""
+
+import numpy as np
+
+
+def seeded_draws(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(4)
+
+
+def stable_order(chunks):
+    order = []
+    for chunk in sorted(set(chunks)):
+        order.append(chunk)
+    return order

@@ -1,0 +1,11 @@
+# simlint: module=repro.obs.analyze.fixture
+# simlint: exact
+"""Fraction-only accounting with float() kept at the boundary: X stays quiet."""
+
+from fractions import Fraction
+
+
+def exact_total(values):
+    total = sum((Fraction(v) for v in values), Fraction(0))
+    half = total * Fraction(1, 2)
+    return {"total": float(total), "half": float(half)}

@@ -1,0 +1,14 @@
+# simlint: module=repro.core.fixture
+"""Downward and annotation-only imports — S stays quiet."""
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.topology import Host
+from repro.simkernel.core import Environment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import ComputeNode
+
+
+def placed(env: Environment, host: Host, node: "ComputeNode"):
+    return env, host, node

@@ -1,0 +1,47 @@
+"""CLI surface: ``repro lint`` and ``python -m repro.lint``."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = str(Path(__file__).parents[2] / "src")
+
+
+def test_lint_src_exits_zero(capsys):
+    assert main([SRC]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "0 findings" in out
+
+
+def test_bad_fixture_exits_nonzero(capsys):
+    code = main([str(FIXTURES / "bad_determinism.py")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "D101" in out
+
+
+def test_json_flag_emits_machine_readable_findings(capsys):
+    code = main([str(FIXTURES / "bad_structure.py"), "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+    assert {f["rule"] for f in payload["findings"]} == {"S501"}
+    assert all(f["hint"] for f in payload["findings"])
+
+
+def test_rule_filter_flag(capsys):
+    code = main([str(FIXTURES / "bad_determinism.py"), "--rule", "X"])
+    assert code == 0
+    code = main([str(FIXTURES / "bad_determinism.py"), "--rule", "D103"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "D103" in out and "D101" not in out
+
+
+def test_repro_cli_dispatches_lint(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", SRC]) == 0

@@ -1,0 +1,77 @@
+"""Every rule family has a failing and a passing fixture.
+
+The bad fixture for a family must trip *exactly* that family (no
+collateral findings from other families), and the matching good fixture
+must be completely clean — the pair pins both the sensitivity and the
+specificity of each rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name):
+    result = lint_paths([str(FIXTURES / name)])
+    assert result.files_checked == 1
+    return result
+
+
+BAD_CASES = [
+    ("bad_determinism.py", "D", {"D101", "D102", "D103", "D104"}),
+    ("bad_exactness.py", "X", {"X201", "X202", "X203"}),
+    ("bad_causetags.py", "C", {"C301", "C302", "C303"}),
+    ("bad_kernel.py", "K", {"K401", "K402"}),
+    ("bad_structure.py", "S", {"S501"}),
+]
+
+
+@pytest.mark.parametrize("name,family,expected_ids", BAD_CASES)
+def test_bad_fixture_trips_exactly_its_family(name, family, expected_ids):
+    result = lint_fixture(name)
+    rules = {f.rule for f in result.findings}
+    assert rules == expected_ids
+    assert all(rule.startswith(family) for rule in rules)
+    assert result.exit_code == 1
+
+
+@pytest.mark.parametrize("name", [
+    "good_determinism.py",
+    "good_exactness.py",
+    "good_causetags.py",
+    "good_kernel.py",
+    "good_structure.py",
+])
+def test_good_fixture_is_clean(name):
+    result = lint_fixture(name)
+    assert result.findings == []
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("name,family,expected_ids", BAD_CASES)
+def test_rule_filter_restricts_to_family(name, family, expected_ids):
+    result = lint_paths([str(FIXTURES / name)], rules=[family])
+    assert {f.rule for f in result.findings} == expected_ids
+    other = lint_paths([str(FIXTURES / name)],
+                       rules=["Z9"])
+    assert other.findings == []
+
+
+def test_findings_carry_location_and_hint():
+    result = lint_fixture("bad_causetags.py")
+    f = result.findings[0]
+    assert f.path.endswith("bad_causetags.py")
+    assert f.line > 1 and f.col >= 1
+    assert "cause" in f.message
+    assert f.hint
+
+
+def test_every_bad_finding_names_its_fixture_line():
+    result = lint_fixture("bad_determinism.py")
+    source = (FIXTURES / "bad_determinism.py").read_text().splitlines()
+    for f in result.findings:
+        assert 1 <= f.line <= len(source)

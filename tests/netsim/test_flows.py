@@ -168,7 +168,7 @@ class TestFabricTransfer:
     def test_exact_byte_accounting_after_completion(self):
         env, topo, fabric = make_fabric()
         sizes = [123.0, 456.7, 89.0]
-        for i, s in enumerate(sizes):
+        for s in sizes:
             fabric.transfer(topo["h0"], topo["h1"], s, tag="x")
         env.run()
         assert fabric.meter.bytes("x") == pytest.approx(sum(sizes))

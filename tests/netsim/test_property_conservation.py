@@ -59,7 +59,7 @@ def test_property_fabric_byte_conservation(program):
 
     assert len(completed) == len(flows)
     expected = {}
-    for s, d, nbytes, start, weight, tag in flows:
+    for _s, _d, nbytes, _start, _weight, tag in flows:
         expected[tag] = expected.get(tag, 0.0) + nbytes
     for tag, total in expected.items():
         assert fabric.meter.bytes(tag) == pytest.approx(total, rel=1e-6)
