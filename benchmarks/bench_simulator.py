@@ -4,6 +4,12 @@ Unlike the figure benches (which time one wrapped run for bookkeeping),
 these use pytest-benchmark for what it is built for — statistically
 meaningful wall-clock timing of the hot paths: the event loop, the
 max-min fast path, and a full end-to-end migration.
+
+Every bench runs ``benchmark.pedantic`` with one warmup round and three
+timed rounds (pytest-benchmark reports the median), and the per-round
+work is sized large enough (tens of thousands of events, batched solver
+calls) that events/s is stable against scheduler jitter — the same
+regime the ``benchmarks/trajectory.py`` regression gate measures in.
 """
 
 import numpy as np
@@ -11,6 +17,11 @@ import numpy as np
 from repro.netsim.fairness import maxmin_single_switch
 from repro.simkernel import Environment
 from repro.simkernel.fluid import FluidShare
+
+#: One discarded warmup round, then the timed rounds whose median
+#: pytest-benchmark reports.
+WARMUP_ROUNDS = 1
+ROUNDS = 3
 
 
 def test_event_loop_throughput(benchmark):
@@ -20,7 +31,7 @@ def test_event_loop_throughput(benchmark):
         env = Environment()
 
         def ticker():
-            for _ in range(5000):
+            for _ in range(20000):
                 yield env.timeout(1.0)
 
         for _ in range(4):
@@ -28,8 +39,9 @@ def test_event_loop_throughput(benchmark):
         env.run()
         return env.now
 
-    result = benchmark(run)
-    assert result == 5000.0
+    result = benchmark.pedantic(run, warmup_rounds=WARMUP_ROUNDS,
+                                rounds=ROUNDS)
+    assert result == 20000.0
 
 
 def test_fluid_share_churn(benchmark):
@@ -40,7 +52,7 @@ def test_fluid_share_churn(benchmark):
         share = FluidShare(env, capacity=1e6)
 
         def spawner():
-            for i in range(500):
+            for i in range(1500):
                 share.transfer(1e4 + (i % 7) * 1e3)
                 yield env.timeout(0.003)
 
@@ -48,12 +60,14 @@ def test_fluid_share_churn(benchmark):
         env.run()
         return share.total_bytes
 
-    total = benchmark(run)
+    total = benchmark.pedantic(run, warmup_rounds=WARMUP_ROUNDS,
+                               rounds=ROUNDS)
     assert total > 0
 
 
 def test_maxmin_fast_path(benchmark):
-    """One rate recomputation at fig4 scale (60 hosts, 90 flows)."""
+    """Rate recomputations at fig4 scale (60 hosts, 90 flows), batched
+    500 to a round so one timing sample spans ~1e5 link visits."""
     rng = np.random.default_rng(1)
     n_hosts, n_flows = 60, 90
     srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
@@ -61,9 +75,14 @@ def test_maxmin_fast_path(benchmark):
     weights = rng.uniform(0.5, 4.0, n_flows)
     nic = np.full(n_hosts, 117.5e6)
 
-    rates = benchmark(
-        maxmin_single_switch, weights, srcs, dsts, nic, nic, 2.5e9
-    )
+    def run():
+        rates = None
+        for _ in range(500):
+            rates = maxmin_single_switch(weights, srcs, dsts, nic, nic, 2.5e9)
+        return rates
+
+    rates = benchmark.pedantic(run, warmup_rounds=WARMUP_ROUNDS,
+                               rounds=ROUNDS)
     assert (rates > 0).all()
 
 
@@ -94,5 +113,6 @@ def test_end_to_end_migration_wall_time(benchmark):
         env.run()
         return done["rec"].migration_time
 
-    mig_time = benchmark(run)
+    mig_time = benchmark.pedantic(run, warmup_rounds=WARMUP_ROUNDS,
+                                  rounds=ROUNDS)
     assert mig_time > 0

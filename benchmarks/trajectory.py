@@ -8,8 +8,12 @@ history.  Each invocation
 
 * runs a fixed set of simulator scenarios (event-loop ticker, fluid
   share churn, max-min recomputation, one end-to-end hybrid migration),
-  measuring wall-clock, events processed (the kernel's lifetime
-  ``Environment.events_processed`` counter) and peak RSS;
+  each with one warmup run then median-of-3 timed runs, measuring
+  wall-clock, events processed (the kernel's lifetime
+  ``Environment.events_processed`` counter), peak RSS and — via the
+  ``repro.obs.prof`` self-profiler — a per-subsystem ``wall_s``
+  breakdown plus work counters (solver invocations, links visited,
+  heap operations, chunk scans);
 * runs one *traced* fig2 migration with causal recording, feeds the
   trace to ``repro.obs.analyze`` and fails (exit 1) unless every run's
   per-cause bytes conserve exactly against the TrafficMeter total *and*
@@ -62,10 +66,11 @@ def _peak_rss_kb() -> int | None:
     return rss // 1024 if sys.platform == "darwin" else rss
 
 
-def scenario_event_loop(quick: bool):
+def scenario_event_loop(quick: bool, prof):
     """Ping-pong timeout chains: pure kernel overhead per event."""
-    ticks = 1000 if quick else 5000
+    ticks = 5000 if quick else 20000
     env = Environment()
+    env.profiler = prof
 
     def ticker():
         for _ in range(ticks):
@@ -78,12 +83,13 @@ def scenario_event_loop(quick: bool):
     return env.now, env.events_processed
 
 
-def scenario_fluid_churn(quick: bool):
+def scenario_fluid_churn(quick: bool, prof):
     """Arrivals/departures on one fluid resource (disk model hot path)."""
     from repro.simkernel.fluid import FluidShare
 
-    ops = 150 if quick else 500
+    ops = 1500 if quick else 3000
     env = Environment()
+    env.profiler = prof
     share = FluidShare(env, capacity=1e6)
 
     def spawner():
@@ -97,25 +103,32 @@ def scenario_fluid_churn(quick: bool):
     return share.total_bytes, env.events_processed
 
 
-def scenario_maxmin(quick: bool):
+def scenario_maxmin(quick: bool, prof):
     """Repeated rate recomputations at fig4 scale (60 hosts, 90 flows)."""
     from repro.netsim.fairness import maxmin_single_switch
 
-    rounds = 50 if quick else 500
+    rounds = 500 if quick else 2000
     rng = np.random.default_rng(1)
     n_hosts, n_flows = 60, 90
     srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
     dsts = (srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
     weights = rng.uniform(0.5, 4.0, n_flows)
     nic = np.full(n_hosts, 117.5e6)
+    stats = {} if prof.enabled else None
     rates = None
-    for _ in range(rounds):
-        rates = maxmin_single_switch(weights, srcs, dsts, nic, nic, 2.5e9)
+    with prof.scope("maxmin.solve"):
+        for _ in range(rounds):
+            rates = maxmin_single_switch(weights, srcs, dsts, nic, nic,
+                                         2.5e9, stats=stats)
+    if stats is not None:
+        prof.count("maxmin.invocations", rounds)
+        prof.count("maxmin.rounds", stats.get("rounds", 0))
+        prof.count("maxmin.links_visited", stats.get("links_visited", 0))
     assert rates is not None and (rates > 0).all()
     return float(rates.sum()), rounds
 
 
-def scenario_migration(quick: bool):
+def scenario_migration(quick: bool, prof):
     """A complete hybrid migration under write pressure."""
     from repro.cluster import CloudMiddleware, Cluster
     from repro.experiments.config import graphene_spec
@@ -124,6 +137,7 @@ def scenario_migration(quick: bool):
     ws = (64 if quick else 256) * MB
     total = (128 if quick else 512) * MB
     env = Environment()
+    env.profiler = prof
     cloud = CloudMiddleware(Cluster(env, graphene_spec(8)))
     vm = cloud.deploy("vm0", cloud.cluster.node(0), working_set=ws)
     SequentialWriter(
@@ -148,6 +162,32 @@ SCENARIOS = [
     ("maxmin_fast_path", scenario_maxmin),
     ("end_to_end_migration", scenario_migration),
 ]
+
+#: Per scenario: discarded warmup runs, then timed runs (median reported).
+WARMUP_RUNS = 1
+TIMED_RUNS = 3
+
+
+def _time_scenario(name: str, fn, quick: bool):
+    """Warmup, then median-of-``TIMED_RUNS`` with profiling *off* (the
+    gate tracks raw kernel throughput), then one extra profiled run for
+    the per-subsystem breakdown.  Returns ``(wall, events, profiler,
+    all_walls)``."""
+    from repro.obs.prof import NULL_PROFILER, Profiler
+
+    for _ in range(WARMUP_RUNS):
+        fn(quick, NULL_PROFILER)
+    runs = []
+    for _ in range(TIMED_RUNS):
+        t0 = time.perf_counter()
+        _result, events = fn(quick, NULL_PROFILER)
+        wall = time.perf_counter() - t0
+        runs.append((wall, events))
+    by_wall = sorted(runs, key=lambda r: r[0])
+    wall, events = by_wall[len(by_wall) // 2]
+    prof = Profiler()
+    fn(quick, prof)
+    return wall, events, prof, [r[0] for r in runs]
 
 
 def traced_fig2(report_path: str | None):
@@ -201,17 +241,29 @@ def run_trajectory(quick: bool, report: str | None) -> dict:
         "scenarios": [],
     }
     for name, fn in SCENARIOS:
-        t0 = time.perf_counter()
-        _result, events = fn(quick)
-        wall = time.perf_counter() - t0
+        wall, events, prof, all_walls = _time_scenario(name, fn, quick)
         entry["scenarios"].append({
             "name": name,
             "wall_s": round(wall, 6),
+            "wall_s_runs": [round(w, 6) for w in all_walls],
             "events": events,
             "events_per_s": round(events / wall, 1) if wall > 0 else None,
             "peak_rss_kb": _peak_rss_kb(),
+            # Host self-profile from one extra (profiled) run: exclusive
+            # wall per subsystem scope path, plus the deterministic work
+            # counters ROADMAP item 1 must shrink (solver rounds, links
+            # visited, scans).  The timed runs above stay unprofiled so
+            # events_per_s tracks the raw kernel.
+            "profile": {
+                "wall_s": {
+                    path: round(node["exclusive_s"], 6)
+                    for path, node in prof.flat().items()
+                },
+                "counters": prof.counters,
+            },
         })
-        print(f"  {name:24s} {wall:8.3f} s   {events:>9} events")
+        print(f"  {name:24s} {wall:8.3f} s   {events:>9} events   "
+              f"(median of {TIMED_RUNS})")
 
     summary, fig2_stats = traced_fig2(report)
     entry["conservation_ok"] = summary["conservation_ok"]

@@ -12,6 +12,7 @@ Python::
     python -m repro.cli single --approach our-approach --workload ior
     python -m repro.cli compare --workload asyncwr
     python -m repro.cli analyze trace.json [--json out.json] [--html out.html]
+    python -m repro.cli profile [--speedscope prof.json] [--check]
 """
 
 from __future__ import annotations
@@ -54,6 +55,16 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         help="record causal wait edges for critical-path analysis "
              "(repro critical-path TRACE.json); implies tracing",
     )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="self-profile the simulator host process (wall-clock per "
+             "subsystem + work counters); never changes simulation output",
+    )
+    p.add_argument(
+        "--profile-out", metavar="OUT.speedscope.json", default=None,
+        help="write the host profile as a speedscope flamegraph "
+             "(implies --profile)",
+    )
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -84,7 +95,10 @@ def _make_obs(args):
     metrics_out = getattr(args, "metrics_out", None)
     report = getattr(args, "report", None)
     causal = getattr(args, "causal", False)
-    if trace is None and metrics_out is None and report is None and not causal:
+    profile = (getattr(args, "profile", False)
+               or getattr(args, "profile_out", None) is not None)
+    if (trace is None and metrics_out is None and report is None
+            and not causal and not profile):
         return None
     from repro.obs import Observability
 
@@ -93,6 +107,7 @@ def _make_obs(args):
         metrics=metrics_out is not None,
         detail=args.trace_detail,
         causal=causal,
+        profile=profile,
     )
 
 
@@ -101,6 +116,17 @@ def _write_obs(obs, args) -> None:
         return
     obs.write(trace_path=args.trace, metrics_path=args.metrics_out)
     written = [p for p in (args.trace, args.metrics_out) if p]
+    prof_summary = None
+    if obs.profiler.enabled:
+        from repro.obs.prof import render_profile_text, write_speedscope
+
+        prof_summary = obs.profiler.summary()
+        print(render_profile_text(prof_summary), file=sys.stderr)
+        profile_out = getattr(args, "profile_out", None)
+        if profile_out is not None:
+            write_speedscope(prof_summary, profile_out,
+                             name=f"repro {args.command}")
+            written.append(profile_out)
     report = getattr(args, "report", None)
     if report is not None:
         import pathlib
@@ -110,7 +136,7 @@ def _write_obs(obs, args) -> None:
         summary = analyze_tracer(obs.tracer)
         path = pathlib.Path(report)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(render_html(summary))
+        path.write_text(render_html(summary, profile=prof_summary))
         written.append(report)
         if not summary["conservation_ok"]:
             print("warning: byte-attribution conservation check failed",
@@ -207,6 +233,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. nic=2, net.memory=4, stall.timeout=inf "
                             "(repeatable)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile the simulator host process: run fig2 under the "
+             "deterministic profiler and print the per-subsystem wall-clock "
+             "tree + work counters (see docs/profiling.md)",
+    )
+    profile.add_argument("--approach", choices=sorted(APPROACHES),
+                         default="our-approach")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--alloc", action="store_true",
+                         help="also attribute heap allocations via "
+                              "tracemalloc (slower)")
+    profile.add_argument("--speedscope", metavar="OUT.json", default=None,
+                         help="write a speedscope.app-loadable flamegraph")
+    profile.add_argument("--collapsed", metavar="OUT.txt", default=None,
+                         help="write Brendan-Gregg collapsed stacks "
+                              "(flamegraph.pl input)")
+    profile.add_argument("--json", metavar="OUT.json", default=None,
+                         help="write the raw profile summary as JSON")
+    profile.add_argument("--report", metavar="OUT.html", default=None,
+                         help="write the flight report HTML with the "
+                              "profiler panel embedded")
+    profile.add_argument("--check", action="store_true",
+                         help="exit non-zero unless exclusive times sum to "
+                              "total wall within 1%%")
+
     lint = sub.add_parser(
         "lint",
         help="simlint: static invariant checks (determinism, exactness, "
@@ -218,6 +270,55 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
 
     return parser
+
+
+def _cmd_profile(args) -> int:
+    import json
+    import pathlib
+
+    from repro.experiments.fig2 import run_fig2
+    from repro.obs import Observability, Profiler
+    from repro.obs.analyze import analyze_tracer, render_html
+    from repro.obs.prof import (
+        render_profile_text,
+        write_collapsed,
+        write_speedscope,
+    )
+
+    obs = Observability(trace=True, metrics=False,
+                        profile=Profiler(alloc=args.alloc))
+    prof = obs.profiler
+    with prof.scope("run.fig2"):
+        run_fig2(args.approach, seed=args.seed, obs=obs)
+    with prof.scope("obs.analyze"):
+        summary = analyze_tracer(obs.tracer)
+    prof_summary = prof.summary()
+    print(f"== repro profile: fig2 ({args.approach}, seed {args.seed})")
+    print(render_profile_text(prof_summary))
+    written = []
+    if args.speedscope:
+        write_speedscope(prof_summary, args.speedscope,
+                         name=f"repro profile fig2 ({args.approach})")
+        written.append(args.speedscope)
+    if args.collapsed:
+        write_collapsed(prof_summary, args.collapsed)
+        written.append(args.collapsed)
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(prof_summary, sort_keys=True, indent=1))
+        written.append(args.json)
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(summary, profile=prof_summary))
+        written.append(args.report)
+    for p in written:
+        print(f"wrote {p}", file=sys.stderr)
+    if args.check and not prof_summary["conservation"]["ok"]:
+        print("profile conservation check FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -360,6 +461,8 @@ def _cmd_compare(args, obs=None) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "critical-path":

@@ -172,9 +172,18 @@ class HybridManager(MigrationManager):
             )
 
     def _push_eligible(self) -> np.ndarray:
-        return np.flatnonzero(
+        eligible = np.flatnonzero(
             self.remaining & (self.chunks.write_count < self.config.threshold)
         )
+        prof = self.env.profiler
+        if prof.enabled:
+            # Work the push loop performs per wakeup: a full scan of the
+            # RemainingSet arrays plus the eligible set it yields — the
+            # quantities an array-backed incremental chunk set would shrink.
+            prof.count("chunks.push_scans")
+            prof.count("chunks.push_scanned", int(self.remaining.size))
+            prof.count("chunks.push_eligible", int(eligible.size))
+        return eligible
 
     def _background_push(self) -> Generator:
         """Algorithm 1's BACKGROUND_PUSH, batched."""
@@ -366,6 +375,11 @@ class HybridManager(MigrationManager):
     def _pull_priority_batch(self) -> np.ndarray:
         """Next prefetch batch under the configured policy."""
         pending = np.flatnonzero(self.pull_pending)
+        prof = self.env.profiler
+        if prof.enabled:
+            prof.count("chunks.pull_scans")
+            prof.count("chunks.pull_scanned", int(self.pull_pending.size))
+            prof.count("chunks.pull_pending", int(pending.size))
         if pending.size == 0:
             return pending
         policy = self.config.prefetch_policy

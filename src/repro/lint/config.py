@@ -41,6 +41,18 @@ class LintConfig:
         "repro.core",
         "repro.hypervisor",
         "repro.workloads",
+        "repro.obs",
+    )
+
+    #: Sanctioned host-time islands inside the determinism scope: modules
+    #: whose *job* is reading the host clock (the self-profiler).  D101/
+    #: D102 (wall/calendar time) are waived here — host timing is what
+    #: they measure, and it never feeds back into simulation state — but
+    #: D103/D104 (randomness, hash-order iteration) still apply in full.
+    #: Individual files outside these prefixes can opt in with a
+    #: ``# simlint: host-time`` pragma.
+    host_time_modules: tuple[str, ...] = (
+        "repro.obs.prof",
     )
 
     #: X rules apply to these modules (plus any carrying a

@@ -1,8 +1,10 @@
 """simlint pragma parsing.
 
-Three comment pragmas are recognised::
+Four comment pragmas are recognised::
 
     # simlint: exact                      (module-level: opt into X rules)
+    # simlint: host-time                  (module-level: waive D101/D102 —
+                                           sanctioned host-clock reads)
     # simlint: module=repro.core.thing    (module-level: override identity)
     x = wall / 1e6  # simlint: ignore[X201] -- trace timestamps are floats
 
@@ -45,6 +47,7 @@ class FilePragmas:
     """All pragmas found in one source file."""
 
     exact: bool = False
+    host_time: bool = False
     module_override: str | None = None
     suppressions: dict[int, Suppression] = field(default_factory=dict)
 
@@ -91,6 +94,9 @@ def parse_pragmas(source: str) -> FilePragmas:
         if mod is not None:
             out.module_override = mod.group("name")
             continue
-        if body.split("--")[0].strip() == "exact":
+        word = body.split("--")[0].strip()
+        if word == "exact":
             out.exact = True
+        elif word == "host-time":
+            out.host_time = True
     return out

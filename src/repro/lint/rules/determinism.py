@@ -30,11 +30,20 @@ _HINT_SET = ("bare set iteration order depends on PYTHONHASHSEED; wrap "
 def check(ctx: FileContext) -> list[Finding]:
     if not in_scope(ctx.module, ctx.config.determinism_modules):
         return []
+    # Sanctioned host-time islands (the self-profiler, or a file carrying
+    # ``# simlint: host-time``): reading the host clock is their purpose,
+    # so D101/D102 are waived.  D103/D104 still apply — a profiler has no
+    # business drawing randomness or leaking hash order.
+    host_time = ctx.pragmas.host_time or in_scope(
+        ctx.module, ctx.config.host_time_modules
+    )
     out: list[Finding] = []
     for node in ast.walk(ctx.tree):
         out.extend(_check_import(ctx, node))
         out.extend(_check_use(ctx, node))
         out.extend(_check_set_iteration(ctx, node))
+    if host_time:
+        out = [f for f in out if f.rule not in ("D101", "D102")]
     return out
 
 

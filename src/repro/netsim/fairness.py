@@ -127,6 +127,7 @@ def maxmin_single_switch(
     backplane: float | None,
     host_racks: np.ndarray | None = None,
     uplink_caps: np.ndarray | None = None,
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Structured fast path of :func:`progressive_filling` for the
     switched topology: per-host egress/ingress caps, optional per-rack
@@ -138,6 +139,14 @@ def maxmin_single_switch(
     so a rate recomputation costs O(F + H + R) per water-filling round —
     this runs on every flow arrival/departure, so it is the simulator's
     hottest path.
+
+    When ``stats`` is given, ``stats["rounds"]`` and
+    ``stats["links_visited"]`` are incremented with the number of
+    water-filling rounds and the total capacity constraints examined
+    (2 per host NIC pair, 2 per rack uplink, 1 backplane, per round) —
+    the work an incremental dirty-link recompute would avoid.  Collecting
+    them is pure integer arithmetic on already-known sizes, so passing
+    ``stats`` never changes the returned rates.
     """
     weights = np.asarray(weights, dtype=np.float64)
     n = weights.shape[0]
@@ -161,9 +170,14 @@ def maxmin_single_switch(
     n_constraints = 2 * n_hosts + 2
     if racked:
         n_constraints += 2 * n_racks
+    links_per_round = 2 * n_hosts + (2 * n_racks if racked else 0) + (
+        1 if bp_active else 0
+    )
+    rounds = 0
     for _ in range(n_constraints):
         if not active.any():
             break
+        rounds += 1
         w_act = np.where(active, weights, 0.0)
         eg_w = np.bincount(srcs, weights=w_act, minlength=n_hosts)
         in_w = np.bincount(dsts, weights=w_act, minlength=n_hosts)
@@ -221,4 +235,9 @@ def maxmin_single_switch(
             break
         active &= ~froze
 
+    if stats is not None:
+        stats["rounds"] = stats.get("rounds", 0) + rounds
+        stats["links_visited"] = (
+            stats.get("links_visited", 0) + rounds * links_per_round
+        )
     return rates

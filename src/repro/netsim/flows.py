@@ -321,37 +321,46 @@ class Fabric:
         self._last_update = now
         if dt <= 0 or not self._flows:
             return
-        finished: list[NetFlow] = []
-        for fl in self._flows:
-            moved = min(fl.rate * dt, fl.remaining)
-            fl.remaining -= moved
-            fl._accounted += moved
-            self.meter.add(fl.tag, moved, cause=fl.cause)
-            if fl.remaining <= _DONE_EPS:
-                fl.remaining = 0.0
-                finished.append(fl)
-        tr = self.env.tracer
-        mx = self.env.metrics
-        for fl in finished:
-            self._flows.remove(fl)
-            # Credit any residual rounding so accounting is exact.
-            if fl._accounted < fl.nbytes:
-                self.meter.add(fl.tag, fl.nbytes - fl._accounted,
-                               cause=fl.cause)
-                fl._accounted = fl.nbytes
-            if tr.enabled:
-                tr.async_span(
-                    f"flow:{fl.tag}", fl.started_at, self.env.now,
-                    cat="net", tid=f"net:{fl.tag}",
-                    args={"src": fl.src.name, "dst": fl.dst.name,
-                          "bytes": fl.nbytes, "cause": fl.cause},
-                )
-            if mx.enabled:
-                mx.counter(f"net.flows.{fl.tag}").inc()
-                mx.histogram("net.flow.duration").observe(
-                    self.env.now - fl.started_at
-                )
-            fl.done.succeed(self.env.now - fl.started_at)
+        prof = self.env.profiler
+        if prof.enabled:
+            prof.enter("fabric.advance")
+            prof.count("fabric.advances")
+            prof.count("fabric.flows_advanced", len(self._flows))
+        try:
+            finished: list[NetFlow] = []
+            for fl in self._flows:
+                moved = min(fl.rate * dt, fl.remaining)
+                fl.remaining -= moved
+                fl._accounted += moved
+                self.meter.add(fl.tag, moved, cause=fl.cause)
+                if fl.remaining <= _DONE_EPS:
+                    fl.remaining = 0.0
+                    finished.append(fl)
+            tr = self.env.tracer
+            mx = self.env.metrics
+            for fl in finished:
+                self._flows.remove(fl)
+                # Credit any residual rounding so accounting is exact.
+                if fl._accounted < fl.nbytes:
+                    self.meter.add(fl.tag, fl.nbytes - fl._accounted,
+                                   cause=fl.cause)
+                    fl._accounted = fl.nbytes
+                if tr.enabled:
+                    tr.async_span(
+                        f"flow:{fl.tag}", fl.started_at, self.env.now,
+                        cat="net", tid=f"net:{fl.tag}",
+                        args={"src": fl.src.name, "dst": fl.dst.name,
+                              "bytes": fl.nbytes, "cause": fl.cause},
+                    )
+                if mx.enabled:
+                    mx.counter(f"net.flows.{fl.tag}").inc()
+                    mx.histogram("net.flow.duration").observe(
+                        self.env.now - fl.started_at
+                    )
+                fl.done.succeed(self.env.now - fl.started_at)
+        finally:
+            if prof.enabled:
+                prof.exit()
 
     def _recompute(self) -> None:
         tr = self.env.tracer
@@ -366,30 +375,45 @@ class Fabric:
             mx.counter("net.reshares").inc()
         if not self._flows:
             return
-        srcs = np.fromiter((fl.src.index for fl in self._flows), dtype=np.intp)
-        dsts = np.fromiter((fl.dst.index for fl in self._flows), dtype=np.intp)
-        weights = np.fromiter((fl.weight for fl in self._flows), dtype=np.float64)
-        topo = self.topology
-        host_racks = uplink_caps = None
-        if topo.rack_uplinks:
-            host_racks = topo.rack_array()
-            n_racks = int(host_racks.max()) + 1
-            uplink_caps = np.full(n_racks, np.inf)
-            for rack, cap in topo.rack_uplinks.items():
-                if rack < n_racks:
-                    uplink_caps[rack] = cap
-        rates = maxmin_single_switch(
-            weights,
-            srcs,
-            dsts,
-            topo.nic_out_array(),
-            topo.nic_in_array(),
-            topo.backplane,
-            host_racks=host_racks,
-            uplink_caps=uplink_caps,
-        )
-        for fl, rate in zip(self._flows, rates):
-            fl.rate = float(rate)
+        prof = self.env.profiler
+        stats: Optional[dict] = None
+        if prof.enabled:
+            prof.enter("fabric.recompute")
+            prof.count("maxmin.invocations")
+            prof.count("fabric.flows_touched", len(self._flows))
+            stats = {}
+        try:
+            srcs = np.fromiter((fl.src.index for fl in self._flows), dtype=np.intp)
+            dsts = np.fromiter((fl.dst.index for fl in self._flows), dtype=np.intp)
+            weights = np.fromiter((fl.weight for fl in self._flows), dtype=np.float64)
+            topo = self.topology
+            host_racks = uplink_caps = None
+            if topo.rack_uplinks:
+                host_racks = topo.rack_array()
+                n_racks = int(host_racks.max()) + 1
+                uplink_caps = np.full(n_racks, np.inf)
+                for rack, cap in topo.rack_uplinks.items():
+                    if rack < n_racks:
+                        uplink_caps[rack] = cap
+            rates = maxmin_single_switch(
+                weights,
+                srcs,
+                dsts,
+                topo.nic_out_array(),
+                topo.nic_in_array(),
+                topo.backplane,
+                host_racks=host_racks,
+                uplink_caps=uplink_caps,
+                stats=stats,
+            )
+            for fl, rate in zip(self._flows, rates):
+                fl.rate = float(rate)
+        finally:
+            if prof.enabled and stats is not None:
+                prof.count("maxmin.rounds", stats.get("rounds", 0))
+                prof.count("maxmin.links_visited",
+                           stats.get("links_visited", 0))
+                prof.exit()
 
     def _reschedule(self) -> None:
         self._wakeup_token += 1

@@ -35,6 +35,7 @@ from repro.obs.export import (
     write_metrics_json,
     write_trace,
 )
+from repro.obs.prof import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.registry import (
     NULL_METRICS,
     Counter,
@@ -51,10 +52,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "NullMetricsRegistry",
+    "NullProfiler",
     "NullTracer",
     "Observability",
+    "Profiler",
     "Tracer",
     "chrome_trace",
     "write_chrome_trace",
@@ -103,10 +107,17 @@ class Observability:
     causal:
         Also record causal wait edges (``repro.obs.causal``) for
         critical-path extraction.  Implies ``trace=True``.
+    profile:
+        Attribute *host* wall-clock, allocations and work counters to
+        subsystems (``repro.obs.prof``).  Pass ``True`` for a fresh
+        :class:`Profiler` or a pre-configured instance (e.g.
+        ``Profiler(alloc=True)``).  Profiling never changes simulation
+        output — only host-side measurement.
     """
 
     def __init__(self, trace: bool = True, metrics: bool = True,
-                 detail: str = "normal", causal: bool = False):
+                 detail: str = "normal", causal: bool = False,
+                 profile: "bool | Profiler" = False):
         if causal:
             trace = True
         self.tracer = Tracer(detail=detail) if trace else NULL_TRACER
@@ -115,14 +126,20 @@ class Observability:
         self.metrics: MetricsRegistry | NullMetricsRegistry = (
             MetricsRegistry() if metrics else NULL_METRICS
         )
+        if isinstance(profile, Profiler):
+            self.profiler: Profiler | NullProfiler = profile
+        else:
+            self.profiler = Profiler() if profile else NULL_PROFILER
         #: Finished per-run metric snapshots, keyed by run label.
         self.runs: dict[str, dict] = {}
 
     # -- wiring ------------------------------------------------------------
     def install(self, env) -> "Observability":
-        """Install tracer + registry onto ``env`` (rebinds the clock)."""
+        """Install tracer + registry + profiler onto ``env`` (rebinds the
+        clock)."""
         env.tracer = self.tracer
         env.metrics = self.metrics
+        env.profiler = self.profiler
         self.tracer.bind(env)
         return self
 

@@ -651,8 +651,75 @@ def _run_tiles(run: dict) -> str:
     ) + "</div>"
 
 
-def render_html(summary: dict, title: str = "Migration flight report") -> str:
-    """The whole summary as one dependency-free HTML document."""
+def _profile_rows(node: dict, depth: int, total: float, rows: list) -> None:
+    share = 100.0 * node["exclusive_s"] / total if total > 0 else 0.0
+    pad = depth * 14
+    bar = max(share, 0.0)
+    rows.append(
+        "<tr>"
+        f"<td style='padding-left:{pad + 6}px'>{escape(node['name'])}</td>"
+        f"<td class='num'>{node['inclusive_s']:.4f}</td>"
+        f"<td class='num'>{node['exclusive_s']:.4f}</td>"
+        f"<td class='num'>{share:.1f}%</td>"
+        f"<td class='num'>{node['calls']:,}</td>"
+        f"<td><div style='background:var(--accent,#6a6af4);height:9px;"
+        f"width:{bar:.1f}%;min-width:1px;border-radius:2px'></div></td>"
+        "</tr>"
+    )
+    for child in node.get("children", []):
+        _profile_rows(child, depth + 1, total, rows)
+
+
+def _profile_panel(profile: dict) -> str:
+    """The self-profiler card: host-time subsystem tree + work counters."""
+    if not profile.get("enabled"):
+        return ""
+    total = profile["total_wall_s"]
+    rows: list = []
+    for root in profile.get("tree", []):
+        _profile_rows(root, 0, total, rows)
+    cons = profile["conservation"]
+    badge = (
+        '<span class="badge good"><span class="dot">✓</span>'
+        f"exclusive times sum to wall (residual {cons['residual_s']:+.2e} s)"
+        "</span>"
+        if cons["ok"] else
+        '<span class="badge bad"><span class="dot">✗</span>'
+        f"profile NOT conserved — residual {cons['residual_s']:+.2e} s</span>"
+    )
+    counters = profile.get("counters", {})
+    counter_rows = "".join(
+        f"<tr><td>{escape(k)}</td><td class='num'>{v:,}</td></tr>"
+        for k, v in counters.items()
+    )
+    counter_html = (
+        "<h3>Work counters</h3><table class='tbl'>"
+        "<tr><th>counter</th><th class='num'>value</th></tr>"
+        f"{counter_rows}</table>"
+        if counter_rows else ""
+    )
+    return (
+        '<div class="card">'
+        "<h2>Host self-profile</h2>"
+        f"<p class='sub'>total attributed wall {total:.4f} s · {badge}</p>"
+        "<table class='tbl'>"
+        "<tr><th>subsystem</th><th class='num'>incl s</th>"
+        "<th class='num'>excl s</th><th class='num'>excl %</th>"
+        "<th class='num'>calls</th><th></th></tr>"
+        + "".join(rows)
+        + "</table>"
+        + counter_html
+        + "</div>"
+    )
+
+
+def render_html(summary: dict, title: str = "Migration flight report",
+                profile: dict | None = None) -> str:
+    """The whole summary as one dependency-free HTML document.
+
+    ``profile`` optionally embeds a host self-profile card
+    (:meth:`repro.obs.prof.Profiler.summary`) after the run cards.
+    """
     body = []
     for run in summary["runs"]:
         body.append('<div class="card">')
@@ -674,6 +741,8 @@ def render_html(summary: dict, title: str = "Migration flight report") -> str:
             )
             body.append(_heatmap_chart(hm))
         body.append("</div>")
+    if profile is not None:
+        body.append(_profile_panel(profile))
     ok = summary["conservation_ok"]
     overall = (
         '<span class="badge good"><span class="dot">✓</span>'

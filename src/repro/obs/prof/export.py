@@ -1,0 +1,151 @@
+"""Profile exports: speedscope flamegraphs, collapsed stacks, JSON.
+
+The aggregated scope tree converts losslessly into both mainstream
+flamegraph interchange formats:
+
+* **speedscope** (https://www.speedscope.app) — a ``"sampled"`` profile
+  where every tree node contributes one weighted stack sample (weight =
+  exclusive seconds).  Drag the file onto speedscope, or ``npx
+  speedscope out.speedscope.json``; the *Left Heavy* view is the classic
+  flamegraph.
+* **collapsed stacks** (Brendan Gregg's folded format) — one
+  ``root;child;leaf <microseconds>`` line per node, directly consumable
+  by ``flamegraph.pl`` and most flamegraph tooling.
+
+Both renderings are deterministic given a deterministic tree structure
+(paths are emitted in sorted order); only the weights vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+__all__ = [
+    "collapsed_stacks",
+    "render_profile_text",
+    "speedscope_json",
+    "write_collapsed",
+    "write_speedscope",
+]
+
+_PathLike = Union[str, pathlib.Path]
+
+_SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def _walk_paths(tree: list[dict]):
+    """Yield ``(path_names, node)`` depth-first in sorted child order."""
+    stack = [((node["name"],), node) for node in reversed(tree)]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        for child in reversed(node.get("children", [])):
+            stack.append((path + (child["name"],), child))
+
+
+def speedscope_json(summary: dict, name: str = "repro profile") -> dict:
+    """A speedscope sampled-profile document for a profiler summary."""
+    frames: list[dict] = []
+    frame_ids: dict[str, int] = {}
+    samples: list[list[int]] = []
+    weights: list[float] = []
+    for path, node in _walk_paths(summary.get("tree", [])):
+        excl = node.get("exclusive_s", 0.0)
+        if excl <= 0:
+            continue
+        stack = []
+        for part in path:
+            idx = frame_ids.get(part)
+            if idx is None:
+                idx = frame_ids[part] = len(frames)
+                frames.append({"name": part})
+            stack.append(idx)
+        samples.append(stack)
+        weights.append(excl)
+    total = sum(weights)
+    return {
+        "$schema": _SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "sampled",
+            "name": name,
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        }],
+    }
+
+
+def write_speedscope(summary: dict, path: _PathLike,
+                     name: str = "repro profile") -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(speedscope_json(summary, name)) + "\n")
+    return path
+
+
+def collapsed_stacks(summary: dict) -> str:
+    """Folded-stack lines (``a;b;c <µs>``), one per tree node."""
+    lines = []
+    for path, node in _walk_paths(summary.get("tree", [])):
+        us = int(round(node.get("exclusive_s", 0.0) * 1e6))
+        if us <= 0:
+            continue
+        lines.append(";".join(path) + f" {us}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_collapsed(summary: dict, path: _PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(collapsed_stacks(summary))
+    return path
+
+
+def render_profile_text(summary: dict) -> str:
+    """Fixed-width subsystem tree + counters, for terminals and logs."""
+    if not summary.get("enabled"):
+        return "profiler disabled (run with --profile)"
+    total = summary["total_wall_s"]
+    lines = [
+        f"host wall attribution (total {total:.4f} s):",
+        f"  {'subsystem':<34s}{'incl s':>10s}{'excl s':>10s}"
+        f"{'excl %':>8s}{'calls':>12s}",
+    ]
+
+    def emit(node: dict, depth: int) -> None:
+        pad = "  " * depth
+        share = 100.0 * node["exclusive_s"] / total if total > 0 else 0.0
+        label = f"{pad}{node['name']}"
+        row = (
+            f"  {label:<34s}{node['inclusive_s']:>10.4f}"
+            f"{node['exclusive_s']:>10.4f}{share:>7.1f}%{node['calls']:>12d}"
+        )
+        if "alloc_bytes" in node:
+            row += f"  +{node['alloc_bytes'] / 1024:.0f} KiB"
+        lines.append(row)
+        for child in node.get("children", []):
+            emit(child, depth + 1)
+
+    for root in summary.get("tree", []):
+        emit(root, 0)
+    cons = summary["conservation"]
+    lines.append(
+        "  conservation: "
+        + (f"exclusive sums to wall (residual {cons['residual_s']:+.2e} s)"
+           if cons["ok"]
+           else f"VIOLATED (residual {cons['residual_s']:+.2e} s "
+                f"> {100 * cons['rel_tol']:.0f}% of wall)")
+    )
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("work counters:")
+        width = max(len(k) for k in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key:<{width}s} {value:>14,d}")
+    return "\n".join(lines)

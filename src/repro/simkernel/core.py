@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.prof.core import NULL_PROFILER, AnyProfiler
 from repro.obs.registry import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
@@ -306,6 +307,9 @@ class Environment:
         #: overhead), replaced by ``repro.obs.Observability.install``.
         self.tracer = NULL_TRACER
         self.metrics = NULL_METRICS
+        #: Host-side self-profiler (``repro.obs.prof``); the null object
+        #: keeps the dispatch fast path branch-predictable when off.
+        self.profiler: AnyProfiler = NULL_PROFILER
         #: Lifetime count of processed events; the benchmark harness
         #: (benchmarks/trajectory.py) divides by wall-clock for events/sec.
         self.events_processed = 0
@@ -355,6 +359,8 @@ class Environment:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if self.profiler.enabled:
+            self.profiler.count("kernel.heap_push")
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -362,6 +368,9 @@ class Environment:
 
     def step(self) -> None:
         """Process one event.  Raises ``IndexError`` on an empty queue."""
+        if self.profiler.enabled:
+            self._step_profiled()
+            return
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:
             raise AssertionError("event scheduled in the past")
@@ -375,6 +384,33 @@ class Environment:
             # dropping exceptions would mask bugs in experiment code.
             exc = event._value
             raise exc
+
+    def _step_profiled(self) -> None:
+        """The :meth:`step` body under a ``kernel.step`` profiler scope.
+
+        Kept as a duplicate of the fast path (rather than a shared inner
+        function) so the unprofiled dispatch loop pays no extra call per
+        event.  The try/finally keeps the scope stack balanced when a
+        callback raises (``StopSimulation`` travels through here).
+        """
+        prof = self.profiler
+        prof.enter("kernel.step")
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            if when < self._now:
+                raise AssertionError("event scheduled in the past")
+            self._now = when
+            self.events_processed += 1
+            callbacks, event.callbacks = event.callbacks, None
+            prof.count("kernel.heap_pop")
+            prof.count("kernel.callbacks_run", len(callbacks))
+            for cb in callbacks:
+                cb(event)
+            if event._ok is False and not event.defused:
+                exc = event._value
+                raise exc
+        finally:
+            prof.exit()
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.

@@ -103,34 +103,52 @@ class FluidShare:
         self._last_update = now
         if dt <= 0 or not self._jobs:
             return
-        total_w = sum(j.weight for j in self._jobs)
-        moved = self.capacity * dt
-        finished: list[FluidJob] = []
-        for job in self._jobs:
-            delta = moved * job.weight / total_w
-            job.remaining -= delta
-            if job.remaining <= _DONE_EPS:
-                job.remaining = 0.0
-                finished.append(job)
-        for job in finished:
-            self._jobs.remove(job)
-            self.total_bytes += job.nbytes
-            job.done.succeed(self.env.now - job.started_at)
+        prof = self.env.profiler
+        if prof.enabled:
+            prof.enter("fluid.advance")
+            prof.count("fluid.advances")
+            prof.count("fluid.jobs_touched", len(self._jobs))
+        try:
+            total_w = sum(j.weight for j in self._jobs)
+            moved = self.capacity * dt
+            finished: list[FluidJob] = []
+            for job in self._jobs:
+                delta = moved * job.weight / total_w
+                job.remaining -= delta
+                if job.remaining <= _DONE_EPS:
+                    job.remaining = 0.0
+                    finished.append(job)
+            for job in finished:
+                self._jobs.remove(job)
+                self.total_bytes += job.nbytes
+                job.done.succeed(self.env.now - job.started_at)
+        finally:
+            if prof.enabled:
+                prof.exit()
 
     def _reschedule(self) -> None:
         """Schedule a wakeup at the earliest next completion time."""
         self._wakeup_token += 1
         if not self._jobs:
             return
-        token = self._wakeup_token
-        total_w = sum(j.weight for j in self._jobs)
-        # Per unit of weight, all jobs progress at the same normalized speed,
-        # so the first to finish is the one with min remaining/weight.
-        eta = min(
-            j.remaining / (self.capacity * j.weight / total_w) for j in self._jobs
-        )
-        timer = self.env.timeout(max(eta, _MIN_ETA))
-        timer.add_callback(lambda _ev: self._on_wakeup(token))
+        prof = self.env.profiler
+        if prof.enabled:
+            prof.enter("fluid.reschedule")
+        try:
+            token = self._wakeup_token
+            total_w = sum(j.weight for j in self._jobs)
+            # Per unit of weight, all jobs progress at the same normalized
+            # speed, so the first to finish is the one with min
+            # remaining/weight.
+            eta = min(
+                j.remaining / (self.capacity * j.weight / total_w)
+                for j in self._jobs
+            )
+            timer = self.env.timeout(max(eta, _MIN_ETA))
+            timer.add_callback(lambda _ev: self._on_wakeup(token))
+        finally:
+            if prof.enabled:
+                prof.exit()
 
     def _on_wakeup(self, token: int) -> None:
         if token != self._wakeup_token:

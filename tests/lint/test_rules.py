@@ -23,6 +23,8 @@ def lint_fixture(name):
 
 BAD_CASES = [
     ("bad_determinism.py", "D", {"D101", "D102", "D103", "D104"}),
+    # host-time pragma waives D101/D102 only; D103/D104 must survive.
+    ("bad_hosttime.py", "D", {"D103", "D104"}),
     ("bad_exactness.py", "X", {"X201", "X202", "X203"}),
     ("bad_causetags.py", "C", {"C301", "C302", "C303"}),
     ("bad_kernel.py", "K", {"K401", "K402"}),
@@ -41,6 +43,7 @@ def test_bad_fixture_trips_exactly_its_family(name, family, expected_ids):
 
 @pytest.mark.parametrize("name", [
     "good_determinism.py",
+    "good_hosttime.py",
     "good_exactness.py",
     "good_causetags.py",
     "good_kernel.py",

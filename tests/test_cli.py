@@ -57,3 +57,28 @@ def test_fig2(capsys):
     out = capsys.readouterr().out
     assert "progresses in time" in out
     assert "downtime" in out
+
+
+def test_profile_subcommand(tmp_path, capsys):
+    speedscope = tmp_path / "prof.speedscope.json"
+    assert main(["profile", "--check", "--speedscope", str(speedscope)]) == 0
+    out = capsys.readouterr().out
+    assert "host wall attribution" in out
+    assert "kernel.step" in out
+    assert "maxmin.invocations" in out
+    assert "maxmin.links_visited" in out
+    assert "conservation: exclusive sums to wall" in out
+
+    import json
+
+    doc = json.loads(speedscope.read_text())
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    assert doc["profiles"][0]["type"] == "sampled"
+
+
+def test_profile_flag_on_fig2(tmp_path, capsys):
+    report = tmp_path / "report.html"
+    assert main(["fig2", "--profile", "--report", str(report)]) == 0
+    err = capsys.readouterr().err
+    assert "host wall attribution" in err
+    assert "Host self-profile" in report.read_text()
