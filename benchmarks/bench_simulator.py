@@ -14,7 +14,8 @@ regime the ``benchmarks/trajectory.py`` regression gate measures in.
 
 import numpy as np
 
-from repro.netsim.fairness import maxmin_single_switch
+from repro.netsim.fairness import IncrementalMaxMin
+from repro.netsim.topology import Topology
 from repro.simkernel import Environment
 from repro.simkernel.fluid import FluidShare
 
@@ -66,19 +67,36 @@ def test_fluid_share_churn(benchmark):
 
 
 def test_maxmin_fast_path(benchmark):
-    """Rate recomputations at fig4 scale (60 hosts, 90 flows), batched
-    500 to a round so one timing sample spans ~1e5 link visits."""
+    """Incremental rate recomputation at fig4 scale (60 hosts, ~90
+    flows): a cyclic edit script over 10 flow-set configurations with
+    periodic fault-driven invalidations, 500 solves per round — the
+    recompute churn a migrating fabric generates (mirrors the
+    ``maxmin_fast_path`` trajectory scenario)."""
     rng = np.random.default_rng(1)
     n_hosts, n_flows = 60, 90
-    srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
-    dsts = (srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
-    weights = rng.uniform(0.5, 4.0, n_flows)
-    nic = np.full(n_hosts, 117.5e6)
+    topo = Topology(backplane=2.5e9)
+    for i in range(n_hosts):
+        topo.add_host(f"h{i}", 117.5e6)
+    base_srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
+    base_dsts = (base_srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
+    base_weights = rng.uniform(0.5, 4.0, n_flows)
+    configs = []
+    for k in range(10):
+        keep = np.ones(n_flows, dtype=bool)
+        keep[rng.integers(0, n_flows, size=k)] = False
+        configs.append((base_srcs[keep].copy(), base_dsts[keep].copy(),
+                        base_weights[keep].copy()))
 
     def run():
+        solver = IncrementalMaxMin(topo)
         rates = None
-        for _ in range(500):
-            rates = maxmin_single_switch(weights, srcs, dsts, nic, nic, 2.5e9)
+        for r in range(500):
+            if r % 100 == 99:
+                host = topo.hosts[r % n_hosts]
+                topo.degrade_host(host, 0.5)
+                topo.restore_host(host)
+            srcs, dsts, weights = configs[r % len(configs)]
+            rates = solver.solve(weights, srcs, dsts)
         return rates
 
     rates = benchmark.pedantic(run, warmup_rounds=WARMUP_ROUNDS,

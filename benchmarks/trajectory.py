@@ -104,28 +104,57 @@ def scenario_fluid_churn(quick: bool, prof):
 
 
 def scenario_maxmin(quick: bool, prof):
-    """Repeated rate recomputations at fig4 scale (60 hosts, 90 flows)."""
-    from repro.netsim.fairness import maxmin_single_switch
+    """Incremental rate recomputation at fig4 scale (60 hosts, ~90 flows).
+
+    Drives :class:`~repro.netsim.fairness.IncrementalMaxMin` the way the
+    fabric does: a cyclic edit script alternates between 10 distinct
+    flow-set configurations (arrivals/departures), and every fifth of
+    the run a link fault + recovery bumps the topology version and
+    invalidates every memoized solution.  Between edits, repeat solves
+    are served from the memo; the ``maxmin.links_visited`` counter only
+    grows on real solves, so links-visited-per-invocation is the work
+    metric the trajectory gate tracks.
+    """
+    from repro.netsim.fairness import IncrementalMaxMin
+    from repro.netsim.topology import Topology
 
     rounds = 500 if quick else 2000
     rng = np.random.default_rng(1)
     n_hosts, n_flows = 60, 90
-    srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
-    dsts = (srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
-    weights = rng.uniform(0.5, 4.0, n_flows)
-    nic = np.full(n_hosts, 117.5e6)
+    topo = Topology(backplane=2.5e9)
+    for i in range(n_hosts):
+        topo.add_host(f"h{i}", 117.5e6)
+    base_srcs = rng.integers(0, n_hosts, n_flows).astype(np.intp)
+    base_dsts = (base_srcs + rng.integers(1, n_hosts, n_flows)) % n_hosts
+    base_weights = rng.uniform(0.5, 4.0, n_flows)
+    configs = []
+    for k in range(10):
+        keep = np.ones(n_flows, dtype=bool)
+        keep[rng.integers(0, n_flows, size=k)] = False
+        configs.append((base_srcs[keep].copy(), base_dsts[keep].copy(),
+                        base_weights[keep].copy()))
+    solver = IncrementalMaxMin(topo)
     stats = {} if prof.enabled else None
+    fault_every = max(rounds // 5, 1)
+    total = 0.0
     rates = None
     with prof.scope("maxmin.solve"):
-        for _ in range(rounds):
-            rates = maxmin_single_switch(weights, srcs, dsts, nic, nic,
-                                         2.5e9, stats=stats)
+        for r in range(rounds):
+            if r % fault_every == fault_every - 1:
+                host = topo.hosts[r % n_hosts]
+                topo.degrade_host(host, 0.5)
+                topo.restore_host(host)
+            srcs, dsts, weights = configs[r % len(configs)]
+            rates = solver.solve(weights, srcs, dsts, stats=stats)
+            total += float(rates.sum())
     if stats is not None:
         prof.count("maxmin.invocations", rounds)
         prof.count("maxmin.rounds", stats.get("rounds", 0))
         prof.count("maxmin.links_visited", stats.get("links_visited", 0))
+        prof.count("maxmin.solves", stats.get("solves", 0))
+        prof.count("maxmin.memo_hits", stats.get("memo_hits", 0))
     assert rates is not None and (rates > 0).all()
-    return float(rates.sum()), rounds
+    return total, rounds
 
 
 def scenario_migration(quick: bool, prof):
@@ -173,12 +202,17 @@ def _time_scenario(name: str, fn, quick: bool):
     gate tracks raw kernel throughput), then one extra profiled run for
     the per-subsystem breakdown.  Returns ``(wall, events, profiler,
     all_walls)``."""
+    import gc
+
     from repro.obs.prof import NULL_PROFILER, Profiler
 
     for _ in range(WARMUP_RUNS):
         fn(quick, NULL_PROFILER)
     runs = []
     for _ in range(TIMED_RUNS):
+        # Collect leftovers from the previous run (dead Environments hold
+        # large cyclic graphs) so its garbage isn't billed to this run.
+        gc.collect()
         t0 = time.perf_counter()
         _result, events = fn(quick, NULL_PROFILER)
         wall = time.perf_counter() - t0
@@ -340,6 +374,52 @@ def check_regression(entry: dict, history: list) -> str | None:
     return None
 
 
+def _links_per_solve(entry: dict) -> float | None:
+    """``maxmin.links_visited`` per solver invocation in the maxmin
+    scenario — the deterministic work metric behind the wall-clock."""
+    for sc in entry.get("scenarios", []):
+        if sc.get("name") != "maxmin_fast_path":
+            continue
+        counters = sc.get("profile", {}).get("counters", {})
+        links = counters.get("maxmin.links_visited")
+        invocations = counters.get("maxmin.invocations")
+        if links and invocations:
+            return links / invocations
+    return None
+
+
+def check_links_regression(entry: dict, history: list) -> str | None:
+    """Gate: links visited per maxmin solve may grow at most
+    ``GATE_REGRESSION`` vs. the previous same-mode entry.
+
+    Wall-clock gates tolerate noisy machines; this one is deterministic —
+    a breach means the incremental solver genuinely lost caching or
+    compaction, not that the CI runner was busy.  Entries predating the
+    counter (or with profiling off) are skipped.
+    """
+    current = _links_per_solve(entry)
+    if current is None:
+        return None
+    previous = None
+    for old in reversed(history):
+        if old.get("mode") == entry.get("mode") and old is not entry:
+            previous = _links_per_solve(old)
+            if previous is not None:
+                break
+    if previous is None:
+        return None
+    print(f"  links/solve gate: {current:,.1f} vs previous {previous:,.1f}",
+          file=sys.stderr)
+    if current > previous * (1.0 + GATE_REGRESSION):
+        return (
+            f"maxmin.links_visited per solve regressed "
+            f"{100 * (current / previous - 1):.1f}% "
+            f"(current {current:,.1f}, previous {previous:,.1f}, "
+            f"allowed {100 * GATE_REGRESSION:.0f}%)"
+        )
+    return None
+
+
 def append_entry(out_path: pathlib.Path, entry: dict) -> list:
     """Append ``entry`` to the trajectory file; returns the new history."""
     history = []
@@ -385,13 +465,14 @@ def main(argv=None) -> int:
         print("error: critical-path conservation check failed",
               file=sys.stderr)
         rc = 1
-    regression = check_regression(entry, history)
-    if regression is not None:
-        print(f"error: {regression}", file=sys.stderr)
-        if args.no_gate:
-            print("(--no-gate: recorded but not failing)", file=sys.stderr)
-        else:
-            rc = 1
+    for gate in (check_regression, check_links_regression):
+        regression = gate(entry, history)
+        if regression is not None:
+            print(f"error: {regression}", file=sys.stderr)
+            if args.no_gate:
+                print("(--no-gate: recorded but not failing)", file=sys.stderr)
+            else:
+                rc = 1
     return rc
 
 

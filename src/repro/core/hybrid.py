@@ -33,6 +33,7 @@ from typing import Generator
 
 import numpy as np
 
+from repro.core.chunkqueue import ChunkQueue, take_valid
 from repro.core.manager import MigrationManager
 from repro.obs.causal.record import annotate
 from repro.simkernel.core import Event
@@ -75,9 +76,18 @@ class HybridManager(MigrationManager):
         self._push_proc = None
         self._push_stop = False
         self._push_wakeup: Event | None = None
+        # Incremental push candidate queue: seeded with the eligible set at
+        # MIGRATION_REQUEST, fed by write re-queues, consumed by the push
+        # loop.  Invariant: every eligible chunk (remaining & cold) is
+        # queued, so a take() that comes up empty means nothing to push.
+        self._push_queue: ChunkQueue | None = None
         # Destination-side state.
         self.pull_pending = np.zeros(n, dtype=bool)
         self._pull_order_wc: np.ndarray | None = None
+        # Precomputed prefetch order + consume cursor ("fifo"/"writecount"
+        # policies; "random" reshuffles per wakeup and keeps the rescan).
+        self._pull_order: np.ndarray | None = None
+        self._pull_pos = 0
         self._pull_inflight: dict[int, Event] = {}
         self._pull_cancelled = np.zeros(n, dtype=bool)
         self._ondemand_depth = 0
@@ -156,6 +166,11 @@ class HybridManager(MigrationManager):
         self.chunks.reset_write_counts()
         self._count_writes = True
         self.remaining = self.chunks.modified.copy()
+        # Write counts were just reset, but Threshold may be 0 (pure
+        # postcopy ablation), so the eligibility filter still applies.
+        self._push_queue = ChunkQueue(np.flatnonzero(
+            self.remaining & (self.chunks.write_count < self.config.threshold)
+        ))
         tr = self.env.tracer
         if tr.enabled:
             tr.instant("push.start", cat="storage",
@@ -171,28 +186,39 @@ class HybridManager(MigrationManager):
                 self._background_push(), name=f"push:{self.vm.name}"
             )
 
-    def _push_eligible(self) -> np.ndarray:
-        eligible = np.flatnonzero(
-            self.remaining & (self.chunks.write_count < self.config.threshold)
+    def _next_push_batch(self) -> np.ndarray:
+        """Consume the next eligible push batch from the candidate queue.
+
+        Equivalent to ``flatnonzero(remaining & cold)[:push_batch]`` — the
+        queue holds ascending ids and take() re-checks eligibility — but
+        examines only ~batch-size entries instead of the whole bitmap.
+        """
+        queue = self._push_queue
+        assert queue is not None
+        remaining = self.remaining
+        wc = self.chunks.write_count
+        threshold = self.config.threshold
+        batch, examined = queue.take(
+            self.config.push_batch,
+            lambda cand: remaining[cand] & (wc[cand] < threshold),
         )
         prof = self.env.profiler
         if prof.enabled:
-            # Work the push loop performs per wakeup: a full scan of the
-            # RemainingSet arrays plus the eligible set it yields — the
-            # quantities an array-backed incremental chunk set would shrink.
+            # Work the push loop performs per wakeup: queue entries
+            # examined plus the batch it yields.  Before the incremental
+            # queue, `push_scanned` was the full bitmap size per scan.
             prof.count("chunks.push_scans")
-            prof.count("chunks.push_scanned", int(self.remaining.size))
-            prof.count("chunks.push_eligible", int(eligible.size))
-        return eligible
+            prof.count("chunks.push_scanned", examined)
+            prof.count("chunks.push_eligible", int(batch.size))
+        return batch
 
     def _background_push(self) -> Generator:
         """Algorithm 1's BACKGROUND_PUSH, batched."""
-        cfg = self.config
         while True:
             if self._push_stop:
                 return
-            eligible = self._push_eligible()
-            if eligible.size == 0:
+            batch = self._next_push_batch()
+            if batch.size == 0:
                 self._push_wakeup = annotate(
                     self.env, self.env.event(), "idle.push_wait",
                 )
@@ -201,7 +227,6 @@ class HybridManager(MigrationManager):
                 except Interrupt:
                     return
                 continue
-            batch = eligible[: cfg.push_batch]
             # Removed from RemainingSet at send time; a concurrent write
             # re-queues the chunk (Algorithm 2 line 10).
             self.remaining[batch] = False
@@ -265,6 +290,10 @@ class HybridManager(MigrationManager):
             hot = self.chunks.write_count[span] >= self.config.threshold
             n_hot = int(hot.sum())
             self.stats["skipped_hot_chunks"] += n_hot
+            if self._push_queue is not None and n_hot < span.size:
+                # Re-queue the still-cold chunks; hot ones are excluded
+                # for good (write counts never decrease mid-migration).
+                self._push_queue.push(span if n_hot == 0 else span[~hot])
             if n_hot:
                 tr = self.env.tracer
                 if tr.enabled:
@@ -346,6 +375,7 @@ class HybridManager(MigrationManager):
             # The engine exits at its next checkpoint; detach regardless.
             self._push_proc = None
         self.remaining[:] = False
+        self._push_queue = None
         super().cancel_migration()
 
     # -------------------------------------------------------------- destination
@@ -356,7 +386,34 @@ class HybridManager(MigrationManager):
         wc = np.zeros(self.chunks.n_chunks, dtype=np.int64)
         wc[chunk_ids] = write_counts
         self._pull_order_wc = wc
+        self._rebuild_pull_queue(chunk_ids)
         self._note_queue_depth(int(chunk_ids.size))
+
+    def _rebuild_pull_queue(self, pending_ids: np.ndarray | None = None) -> None:
+        """Materialize the prefetch order for the current pending set.
+
+        The pending set only shrinks between rebuilds (pulls, local
+        writes), and dropping entries from a sorted order preserves it, so
+        the order is computed once here and consumed with a cursor.  The
+        only path that re-adds pending chunks — a stalled pull batch —
+        rebuilds.  The "random" policy reshuffles per wakeup (its rng is
+        keyed on in-flight state) and keeps the legacy full rescan.
+        """
+        policy = self.config.prefetch_policy
+        if policy == "random":
+            self._pull_order = None
+            self._pull_pos = 0
+            return
+        if pending_ids is None:
+            pending_ids = np.flatnonzero(self.pull_pending)
+        if policy == "writecount":
+            assert self._pull_order_wc is not None
+            # Decreasing write count; stable on chunk index for determinism.
+            order = np.argsort(-self._pull_order_wc[pending_ids], kind="stable")
+            pending_ids = pending_ids[order]
+        # "fifo": natural chunk-index order.
+        self._pull_order = pending_ids
+        self._pull_pos = 0
 
     def _note_queue_depth(self, depth: int) -> None:
         tr = self.env.tracer
@@ -374,24 +431,32 @@ class HybridManager(MigrationManager):
 
     def _pull_priority_batch(self) -> np.ndarray:
         """Next prefetch batch under the configured policy."""
-        pending = np.flatnonzero(self.pull_pending)
         prof = self.env.profiler
+        order = self._pull_order
+        if order is None:
+            # Legacy rescan, kept for the "random" ablation policy only.
+            pending = np.flatnonzero(self.pull_pending)
+            if prof.enabled:
+                prof.count("chunks.pull_scans")
+                prof.count("chunks.pull_scanned", int(self.pull_pending.size))
+                prof.count("chunks.pull_pending", int(pending.size))
+            if pending.size == 0:
+                return pending
+            rng = np.random.default_rng(
+                self.config.seed + len(self._pull_inflight)
+            )
+            pending = rng.permutation(pending)
+            return pending[: self.config.pull_batch]
+        pull_pending = self.pull_pending
+        batch, self._pull_pos, examined = take_valid(
+            order, self._pull_pos, self.config.pull_batch,
+            lambda cand: pull_pending[cand],
+        )
         if prof.enabled:
             prof.count("chunks.pull_scans")
-            prof.count("chunks.pull_scanned", int(self.pull_pending.size))
-            prof.count("chunks.pull_pending", int(pending.size))
-        if pending.size == 0:
-            return pending
-        policy = self.config.prefetch_policy
-        if policy == "writecount":
-            # Decreasing write count; stable on chunk index for determinism.
-            order = np.argsort(-self._pull_order_wc[pending], kind="stable")
-            pending = pending[order]
-        elif policy == "random":
-            rng = np.random.default_rng(self.config.seed + len(self._pull_inflight))
-            pending = rng.permutation(pending)
-        # "fifo": natural chunk-index order.
-        return pending[: self.config.pull_batch]
+            prof.count("chunks.pull_scanned", examined)
+            prof.count("chunks.pull_pending", int(pull_pending.sum()))
+        return batch
 
     def _background_pull(self) -> Generator:
         """Algorithm 3's BACKGROUND_PULL with suspension for on-demand reads."""
@@ -509,6 +574,9 @@ class HybridManager(MigrationManager):
         if mx.enabled:
             mx.counter("pull.stalled.chunks").inc(int(batch.size))
         self.pull_pending[batch] = ~self._pull_cancelled[batch]
+        # The cursor already passed these ids; rebuild the order so the
+        # re-marked chunks are prefetched again (rare fault path).
+        self._rebuild_pull_queue()
         for c in batch:
             self._pull_inflight.pop(int(c), None)
         arrival.succeed()

@@ -9,15 +9,29 @@ The result is the unique (weighted) max-min fair allocation.
 The implementation is vectorized with numpy; each round costs
 ``O(C + total membership)`` and there are at most ``C`` rounds, so it is
 cheap enough to re-run on every flow arrival/departure.
+
+:class:`IncrementalMaxMin` sits on top of :func:`maxmin_single_switch`
+and keeps the water-filling solution alive across recomputations:
+repeated flow signatures return memoized rates, and fresh signatures are
+solved on the *touched-host subgraph* only.  Both shortcuts are
+constructed to be bitwise identical to a from-scratch solve — the
+differential harness (``tests/differential``) and the hypothesis edit
+scripts (``tests/netsim/test_incremental_maxmin.py``) hold it to that.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["Constraint", "progressive_filling"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.netsim.topology import Topology
+
+__all__ = ["Constraint", "progressive_filling", "maxmin_single_switch",
+           "IncrementalMaxMin"]
 
 _EPS = 1e-12
 
@@ -241,3 +255,133 @@ def maxmin_single_switch(
             stats.get("links_visited", 0) + rounds * links_per_round
         )
     return rates
+
+
+class IncrementalMaxMin:
+    """Incremental driver for :func:`maxmin_single_switch` over a live
+    :class:`~repro.netsim.topology.Topology`.
+
+    The fabric recomputes rates on every flow arrival/departure, but a
+    migration oscillates between a handful of flow sets (push batch in
+    flight / drained, the memory stream joining and leaving, a prefetch
+    train), so most recomputations repeat a recently seen problem.  Two
+    layers exploit that without changing a single output bit:
+
+    1. **Solution memo** — an LRU keyed on
+       ``(capacity signature, flow signature)``.  The capacity signature
+       is the byte content of every solver capacity input (NIC arrays,
+       backplane, rack map, uplink caps), recomputed whenever
+       ``topology.version`` changes: every capacity-affecting mutation
+       (degrade, restore, backplane/uplink change, host added) bumps the
+       version, so a fault instantly invalidates every cached solution —
+       serving a stale rate across a fault is the bug the fault-path
+       regression tests exist to catch.  Keying on *content* rather than
+       the version itself means a restore (degrade undone) returns to
+       the pre-fault signature and the pre-fault solutions become valid
+       again — which they are, exactly: same inputs, same output.
+    2. **Touched-host compaction** — a fresh signature is solved on the
+       subgraph of hosts that actually carry flows.  A host with no
+       member flows contributes zero active weight (its per-round
+       increment is ``+inf``, never the global minimum) and zero load
+       (its NICs never saturate, so it never freezes anyone), so deleting
+       it from the solve leaves every round's increment, freeze set and
+       float accumulation order untouched: the compacted solve is
+       float-for-float the from-scratch solve.  Rack uplinks and the
+       backplane are kept whole.
+
+    The memo stores solver *outputs* and the compaction is exact, so
+    ``solve`` is bitwise identical to calling
+    :func:`maxmin_single_switch` on the full host arrays — the invariant
+    the differential tests pin down.
+    """
+
+    def __init__(self, topology: "Topology", memo_size: int = 512) -> None:
+        if memo_size < 1:
+            raise ValueError("memo_size must be >= 1")
+        self.topology = topology
+        self._memo: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._memo_size = int(memo_size)
+        self._sig_version = -1
+        self._sig: tuple = ()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def _capacity_signature(self) -> tuple:
+        """Byte content of every capacity input, cached per topology
+        version (the version only tells us *when* to re-derive it)."""
+        topo = self.topology
+        if self._sig_version != topo.version:
+            uplinks = topo.uplink_caps_array()
+            self._sig = (
+                topo.nic_out_array().tobytes(),
+                topo.nic_in_array().tobytes(),
+                topo.backplane,
+                topo.rack_array().tobytes() if topo.rack_uplinks else b"",
+                uplinks.tobytes() if uplinks is not None else b"",
+            )
+            self._sig_version = topo.version
+        return self._sig
+
+    def solve(
+        self,
+        weights: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        stats: dict | None = None,
+    ) -> np.ndarray:
+        """Weighted max-min rates for flows ``srcs[i] -> dsts[i]``.
+
+        Returns a read-only array (memo hits alias the cached solution).
+        ``stats`` (when given) accumulates ``memo_hits``, ``solves``,
+        ``hosts_solved`` plus the ``rounds``/``links_visited`` counters
+        of the underlying solver — real solves only, which is exactly
+        what makes the incremental win measurable.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        srcs = np.asarray(srcs, dtype=np.intp)
+        dsts = np.asarray(dsts, dtype=np.intp)
+        n = weights.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        topo = self.topology
+        key = (self._capacity_signature(), n, srcs.tobytes(), dsts.tobytes(),
+               weights.tobytes())
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+            if stats is not None:
+                stats["memo_hits"] = stats.get("memo_hits", 0) + 1
+            return hit
+
+        nic_out = topo.nic_out_array()
+        nic_in = topo.nic_in_array()
+        host_racks = topo.rack_array() if topo.rack_uplinks else None
+        uplink_caps = topo.uplink_caps_array()
+        touched = np.unique(np.concatenate((srcs, dsts)))
+        if touched.size < nic_out.shape[0]:
+            solve_srcs = np.searchsorted(touched, srcs)
+            solve_dsts = np.searchsorted(touched, dsts)
+            solve_out = nic_out[touched]
+            solve_in = nic_in[touched]
+            solve_racks = (host_racks[touched]
+                           if host_racks is not None else None)
+        else:
+            solve_srcs, solve_dsts = srcs, dsts
+            solve_out, solve_in = nic_out, nic_in
+            solve_racks = host_racks
+        rates = maxmin_single_switch(
+            weights, solve_srcs, solve_dsts, solve_out, solve_in,
+            topo.backplane, host_racks=solve_racks,
+            uplink_caps=uplink_caps, stats=stats,
+        )
+        rates.flags.writeable = False
+        self._memo[key] = rates
+        if len(self._memo) > self._memo_size:
+            self._memo.popitem(last=False)
+        if stats is not None:
+            stats["solves"] = stats.get("solves", 0) + 1
+            stats["hosts_solved"] = (
+                stats.get("hosts_solved", 0) + int(touched.size)
+            )
+        return rates

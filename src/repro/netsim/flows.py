@@ -20,11 +20,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.netsim.fairness import maxmin_single_switch
+from repro.netsim.fairness import IncrementalMaxMin, maxmin_single_switch
 from repro.netsim.topology import Host, Topology
 from repro.netsim.traffic import TrafficMeter
 from repro.obs.causal.record import annotate
 from repro.simkernel.core import Environment, Event
+from repro.simkernel.events import RearmableTimer
 
 __all__ = ["NetFlow", "Fabric"]
 
@@ -100,8 +101,17 @@ class Fabric:
         self.meter = meter if meter is not None else TrafficMeter()
         self._flows: list[NetFlow] = []
         self._last_update = env.now
-        self._wakeup_token = 0
+        self._timer = RearmableTimer(env, self._on_wakeup)
         self._cause_override: list[str] = []
+        #: Incremental solver (fast kernel only; the reference kernel
+        #: re-solves from scratch every time and is the oracle).
+        self._maxmin = IncrementalMaxMin(topology)
+        #: Dirty-link tracking: set when the flow set changes, checked
+        #: together with ``topology.version`` so a clean ``_recompute``
+        #: (sampler-driven ``sync()``, wakeups with no completions) is a
+        #: no-op — the standing rates are still the solution.
+        self._dirty = True
+        self._topo_version_seen = -1
 
     @contextmanager
     def cause_scope(self, cause: str):
@@ -200,6 +210,7 @@ class Fabric:
                  tag=tag, cause=cause, src=src.name, dst=dst.name)
         self._advance()
         self._flows.append(flow)
+        self._dirty = True
         self._recompute()
         self._reschedule()
         return flow.done
@@ -254,6 +265,7 @@ class Fabric:
         if flow not in self._flows:
             return False  # crossed the finish line at the integration step
         self._flows.remove(flow)
+        self._dirty = True
         tr = self.env.tracer
         if tr.enabled:
             tr.instant("flow.cancelled", cat="net", tid=f"net:{flow.tag}",
@@ -280,6 +292,7 @@ class Fabric:
             return 0
         for fl in doomed:
             self._flows.remove(fl)
+        self._dirty = True
         tr = self.env.tracer
         if tr.enabled:
             tr.instant("flows.aborted", cat="net", tid="net:faults",
@@ -336,6 +349,8 @@ class Fabric:
                 if fl.remaining <= _DONE_EPS:
                     fl.remaining = 0.0
                     finished.append(fl)
+            if finished:
+                self._dirty = True
             tr = self.env.tracer
             mx = self.env.metrics
             for fl in finished:
@@ -373,9 +388,23 @@ class Fabric:
         if mx.enabled:
             mx.gauge("net.active_flows").set(len(self._flows))
             mx.counter("net.reshares").inc()
+        topo = self.topology
         if not self._flows:
+            self._dirty = False
+            self._topo_version_seen = topo.version
             return
         prof = self.env.profiler
+        if (not self._dirty and self._topo_version_seen == topo.version
+                and self.env.kernel == "fast"):
+            # Same flow set, same capacities: the standing rates are still
+            # the max-min solution.  The dirty flag is driven by every
+            # mutation path (transfer/cancel/abort/completion) and the
+            # topology epoch by every fault hook, so skipping here can
+            # never serve a stale rate — tests/faults/test_fault_
+            # invalidation.py holds that line.
+            if prof.enabled:
+                prof.count("maxmin.cache_hits")
+            return
         stats: Optional[dict] = None
         if prof.enabled:
             prof.enter("fabric.recompute")
@@ -383,43 +412,73 @@ class Fabric:
             prof.count("fabric.flows_touched", len(self._flows))
             stats = {}
         try:
-            srcs = np.fromiter((fl.src.index for fl in self._flows), dtype=np.intp)
-            dsts = np.fromiter((fl.dst.index for fl in self._flows), dtype=np.intp)
-            weights = np.fromiter((fl.weight for fl in self._flows), dtype=np.float64)
-            topo = self.topology
-            host_racks = uplink_caps = None
-            if topo.rack_uplinks:
-                host_racks = topo.rack_array()
-                n_racks = int(host_racks.max()) + 1
-                uplink_caps = np.full(n_racks, np.inf)
-                for rack, cap in topo.rack_uplinks.items():
-                    if rack < n_racks:
-                        uplink_caps[rack] = cap
-            rates = maxmin_single_switch(
-                weights,
-                srcs,
-                dsts,
-                topo.nic_out_array(),
-                topo.nic_in_array(),
-                topo.backplane,
-                host_racks=host_racks,
-                uplink_caps=uplink_caps,
-                stats=stats,
-            )
-            for fl, rate in zip(self._flows, rates):
-                fl.rate = float(rate)
+            # Coalesce same-(src, dst, traffic-class) flows into one solver
+            # variable of the summed weight.  Members of such a group cross
+            # *identical* constraint sets, so under weighted max-min they
+            # rise and freeze together and the group allocation splits
+            # proportionally to member weights — the coalesced solve is
+            # mathematically the per-flow solve, at a fraction of the
+            # variable count.  Applied under both kernels: it is model
+            # semantics, not a fast-path shortcut.
+            group_key: dict[tuple[int, int, str], int] = {}
+            g_srcs: list[int] = []
+            g_dsts: list[int] = []
+            g_weights: list[float] = []
+            members: list[list[NetFlow]] = []
+            for fl in self._flows:
+                key = (fl.src.index, fl.dst.index, fl.tag)
+                gi = group_key.get(key)
+                if gi is None:
+                    group_key[key] = len(g_srcs)
+                    g_srcs.append(fl.src.index)
+                    g_dsts.append(fl.dst.index)
+                    g_weights.append(fl.weight)
+                    members.append([fl])
+                else:
+                    g_weights[gi] += fl.weight
+                    members[gi].append(fl)
+            srcs = np.array(g_srcs, dtype=np.intp)
+            dsts = np.array(g_dsts, dtype=np.intp)
+            weights = np.array(g_weights, dtype=np.float64)
+            if self.env.kernel == "fast":
+                rates = self._maxmin.solve(weights, srcs, dsts, stats=stats)
+            else:
+                rates = maxmin_single_switch(
+                    weights,
+                    srcs,
+                    dsts,
+                    topo.nic_out_array(),
+                    topo.nic_in_array(),
+                    topo.backplane,
+                    host_racks=(topo.rack_array()
+                                if topo.rack_uplinks else None),
+                    uplink_caps=topo.uplink_caps_array(),
+                    stats=stats,
+                )
+            for gi in range(len(members)):
+                group = members[gi]
+                rate = float(rates[gi])
+                if len(group) == 1:
+                    group[0].rate = rate
+                else:
+                    total_w = g_weights[gi]
+                    for fl in group:
+                        fl.rate = rate * (fl.weight / total_w)
+            self._dirty = False
+            self._topo_version_seen = topo.version
         finally:
             if prof.enabled and stats is not None:
                 prof.count("maxmin.rounds", stats.get("rounds", 0))
                 prof.count("maxmin.links_visited",
                            stats.get("links_visited", 0))
+                prof.count("maxmin.solves", stats.get("solves", 0))
+                prof.count("maxmin.memo_hits", stats.get("memo_hits", 0))
                 prof.exit()
 
     def _reschedule(self) -> None:
-        self._wakeup_token += 1
         if not self._flows:
+            self._timer.cancel()
             return
-        token = self._wakeup_token
         eta = min(
             (fl.remaining / fl.rate for fl in self._flows if fl.rate > 0),
             default=None,
@@ -429,12 +488,9 @@ class Fabric:
             # happen with positive capacities); retry after a tick rather
             # than deadlock.
             eta = 1.0
-        timer = self.env.timeout(max(eta, _MIN_ETA))
-        timer.add_callback(lambda _ev: self._on_wakeup(token))
+        self._timer.arm(max(eta, _MIN_ETA))
 
-    def _on_wakeup(self, token: int) -> None:
-        if token != self._wakeup_token:
-            return
+    def _on_wakeup(self) -> None:
         self._advance()
         self._recompute()
         self._reschedule()

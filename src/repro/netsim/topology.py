@@ -66,6 +66,11 @@ class Topology:
     _nic_out_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
     _nic_in_cache: np.ndarray = field(default_factory=lambda: np.zeros(0))
     _rack_cache: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.intp))
+    #: Epoch counter bumped on every capacity-affecting mutation (host
+    #: added, NIC degrade/restore, backplane or uplink change).  The
+    #: incremental max-min solver keys its caches on this: a stale rate
+    #: surviving a fault is a correctness bug, not a performance one.
+    version: int = 0
 
     def __post_init__(self) -> None:
         # Configured backplane capacity; fault injection scales from this.
@@ -90,6 +95,7 @@ class Topology:
         )
         self.hosts.append(host)
         self._by_name[name] = host
+        self.version += 1
         return host
 
     def set_rack_uplink(self, rack: int, capacity: float) -> None:
@@ -98,6 +104,7 @@ class Topology:
         if capacity <= 0:
             raise ValueError("uplink capacity must be positive")
         self.rack_uplinks[int(rack)] = float(capacity)
+        self.version += 1
 
     def __getitem__(self, name: str) -> Host:
         return self._by_name[name]
@@ -127,6 +134,18 @@ class Topology:
             )
         return self._rack_cache
 
+    def uplink_caps_array(self) -> "np.ndarray | None":
+        """Per-rack uplink caps indexed by rack id (``inf`` where
+        unconstrained), or ``None`` when no uplink is constrained."""
+        if not self.rack_uplinks:
+            return None
+        n_racks = int(self.rack_array().max()) + 1
+        caps = np.full(n_racks, np.inf)
+        for rack, cap in self.rack_uplinks.items():
+            if rack < n_racks:
+                caps[rack] = cap
+        return caps
+
     # -- fault hooks ---------------------------------------------------------
 
     def _resolve(self, host: "Host | str") -> Host:
@@ -137,6 +156,7 @@ class Topology:
         # capacity mutation must drop them explicitly.
         self._nic_out_cache = np.zeros(0)
         self._nic_in_cache = np.zeros(0)
+        self.version += 1
 
     def degrade_host(self, host: "Host | str", factor: float) -> Host:
         """Scale a host's NIC capacities to ``factor`` x their base values
@@ -177,6 +197,7 @@ class Topology:
         if self._backplane_base is None:
             return None
         self.backplane = self._backplane_base * factor
+        self.version += 1
         return self.backplane
 
     def constraints_for(

@@ -7,12 +7,37 @@ The design follows the classic generator-coroutine DES pattern: a
 entries, so simultaneous events are delivered in a deterministic order
 (insertion order within a priority class) — a hard requirement for
 reproducible experiments.
+
+Two interchangeable schedulers ("kernels") implement that contract:
+
+``reference``
+    The pure from-scratch implementation: every event goes through the
+    binary heap.  Simple enough to audit by eye; kept in-tree as the
+    oracle the differential tests (``tests/differential``) compare
+    against.
+
+``fast`` (default)
+    Identical delivery order, cheaper bookkeeping.  Events scheduled with
+    ``delay == 0`` (the dominant case: ``succeed()``/``fail()`` wakeups,
+    process bootstraps, interrupts) go to per-priority FIFO *now-buckets*
+    — plain deques, no heap churn — while only real timers touch the
+    heap.  Because bucket entries always carry the current timestamp and
+    the heap is only consulted when its head is due, the merged delivery
+    order is exactly the reference ``(time, priority, seq)`` order.
+
+Both kernels honour :attr:`Event._cancelled`: a cancelled entry is
+skipped at pop time without advancing the clock or counting as a
+processed event, which is what lets timers be re-armed into the *same*
+tick without double delivery (see ``RearmableTimer``).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.obs.prof.core import NULL_PROFILER, AnyProfiler
 from repro.obs.registry import NULL_METRICS
@@ -26,6 +51,10 @@ __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "KERNELS",
+    "default_kernel",
+    "set_default_kernel",
+    "kernel_scope",
 ]
 
 #: Sentinel for an event that has not been triggered yet.
@@ -35,6 +64,46 @@ PENDING = object()
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: The two scheduler implementations an :class:`Environment` can run on.
+KERNELS = ("fast", "reference")
+
+_DEFAULT_KERNEL = os.environ.get("REPRO_KERNEL", "fast")
+if _DEFAULT_KERNEL not in KERNELS:  # pragma: no cover - env misconfiguration
+    raise ValueError(
+        f"REPRO_KERNEL={_DEFAULT_KERNEL!r} is not one of {KERNELS}"
+    )
+
+
+def default_kernel() -> str:
+    """The kernel new :class:`Environment` instances use when not told."""
+    return _DEFAULT_KERNEL
+
+
+def set_default_kernel(kernel: str) -> str:
+    """Set the process-wide default kernel; returns the previous default.
+
+    Affects only environments constructed afterwards with
+    ``Environment(kernel=None)``; running environments keep the kernel
+    they were born with (switching schedulers mid-run would reorder the
+    queue).
+    """
+    global _DEFAULT_KERNEL
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    previous = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = kernel
+    return previous
+
+
+@contextmanager
+def kernel_scope(kernel: str) -> Iterator[None]:
+    """Temporarily change the default kernel (for tests / comparisons)."""
+    previous = set_default_kernel(kernel)
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
 
 
 class StopSimulation(Exception):
@@ -52,18 +121,27 @@ class Event:
     *processed* (callbacks ran).  An event can succeed with a value or fail
     with an exception; a failed event re-raises inside every waiting process
     unless it was marked :attr:`defused`.
+
+    Events are the hottest allocation in the simulator, so the class is
+    slotted.  The ``flow`` slot exists solely so the fabric can hang the
+    owning :class:`~repro.netsim.flows.NetFlow` off a completion event
+    (read back with ``getattr(ev, "flow", None)``); it stays unset for
+    every other event.
     """
 
-    #: Simulation time the event triggered (``None`` while pending) and the
-    #: name of the process that called :meth:`succeed`, if any.  Class-level
-    #: defaults keep the per-event cost at zero until they are needed; the
-    #: causal recorder (``repro.obs.causal``) reads them to reconstruct
-    #: happens-before edges.
-    triggered_at: Optional[float] = None
-    succeeded_by: Optional[str] = None
-    #: Optional ``(resource_class, detail_dict)`` set by
-    #: :func:`repro.obs.causal.annotate` at byte-moving call sites.
-    _causal = None
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "created_at",
+        "defused",
+        "_cancelled",
+        "triggered_at",
+        "succeeded_by",
+        "_causal",
+        "flow",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -74,6 +152,18 @@ class Event:
         #: A failed event whose exception was consumed (e.g. by a condition)
         #: sets this to avoid the "unhandled failure" crash.
         self.defused = False
+        #: A cancelled event is silently discarded at pop time instead of
+        #: being delivered (no clock advance, no processed count).
+        self._cancelled = False
+        #: Simulation time the event triggered (``None`` while pending) and
+        #: the name of the process that called :meth:`succeed`, if any.  The
+        #: causal recorder (``repro.obs.causal``) reads them to reconstruct
+        #: happens-before edges.
+        self.triggered_at: Optional[float] = None
+        self.succeeded_by: Optional[str] = None
+        #: Optional ``(resource_class, detail_dict)`` set by
+        #: :func:`repro.obs.causal.annotate` at byte-moving call sites.
+        self._causal: Optional[tuple[str, dict[str, Any]]] = None
 
     @property
     def triggered(self) -> bool:
@@ -161,6 +251,8 @@ class Process(Event):
     return value) or raises (failure).  Other processes can therefore
     ``yield proc`` to join it.
     """
+
+    __slots__ = ("_generator", "name", "_target", "_wait_begin", "started_at")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         super().__init__(env)
@@ -296,11 +388,31 @@ class Environment:
     ----------
     initial_time:
         Starting value of :attr:`now` (seconds).
+    kernel:
+        ``"fast"`` (now-buckets + heap) or ``"reference"`` (pure heap).
+        ``None`` uses the process-wide default (``REPRO_KERNEL`` env var
+        or :func:`set_default_kernel`; ``"fast"`` out of the box).  Both
+        deliver events in the identical ``(time, priority, seq)`` order —
+        ``tests/differential`` holds them to byte-identical results.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 kernel: Optional[str] = None) -> None:
+        if kernel is None:
+            kernel = _DEFAULT_KERNEL
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
+        self.kernel = kernel
+        self._fast = kernel == "fast"
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Fast-kernel now-buckets: FIFOs of ``(seq, event)`` entries due at
+        #: the *current* time, one per priority class.  Always empty on the
+        #: reference kernel.
+        self._bucket_urgent: deque[tuple[int, Event]] = deque()
+        self._bucket_normal: deque[tuple[int, Event]] = deque()
         self._seq = 0
         self._active: Optional[Process] = None
         #: Observability hooks; null implementations by default (zero
@@ -312,6 +424,7 @@ class Environment:
         self.profiler: AnyProfiler = NULL_PROFILER
         #: Lifetime count of processed events; the benchmark harness
         #: (benchmarks/trajectory.py) divides by wall-clock for events/sec.
+        #: Cancelled entries are skipped, not processed — they don't count.
         self.events_processed = 0
 
     @property
@@ -358,25 +471,70 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._seq += 1
+        if self._fast and delay == 0.0:
+            # Due *now*: a FIFO append preserves the (time, priority, seq)
+            # order the heap would have produced, at deque cost.
+            bucket = (self._bucket_urgent if priority == URGENT
+                      else self._bucket_normal)
+            bucket.append((self._seq, event))
+            if self.profiler.enabled:
+                self.profiler.count("kernel.bucket_push")
+            return
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
         if self.profiler.enabled:
             self.profiler.count("kernel.heap_push")
 
+    def _next_entry(self) -> tuple[float, Event]:
+        """Pop the globally next queue entry (bucket-aware).
+
+        Raises ``IndexError`` when both buckets and the heap are empty.
+        The returned entry may be cancelled; :meth:`step` filters.
+        """
+        bu = self._bucket_urgent
+        bn = self._bucket_normal
+        head = bu[0] if bu else (bn[0] if bn else None)
+        if head is None:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            if when < self._now:
+                raise AssertionError("event scheduled in the past")
+            return when, event
+        queue = self._queue
+        if queue:
+            # Bucket entries are all due at the current time; a heap entry
+            # wins only if it is also due now and sorts strictly earlier by
+            # (priority, seq).  Urgent bucket entries shadow the normal
+            # bucket entirely (same time, smaller priority).
+            t, prio, seq, _ev = queue[0]
+            bucket_key = (URGENT, head[0]) if bu else (NORMAL, head[0])
+            if t <= self._now and (prio, seq) < bucket_key:
+                heapq.heappop(queue)
+                return t, _ev
+        _seq2, event = bu.popleft() if bu else bn.popleft()
+        return self._now, event
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._bucket_urgent or self._bucket_normal:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process one event.  Raises ``IndexError`` on an empty queue."""
+        """Pop one queue entry and deliver it (empty queue: ``IndexError``).
+
+        A cancelled entry is dropped without delivering, advancing the
+        clock or counting as processed — callers that loop on the queue
+        re-check emptiness, so a skip is just a cheap no-op iteration.
+        """
         if self.profiler.enabled:
             self._step_profiled()
             return
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise AssertionError("event scheduled in the past")
+        when, event = self._next_entry()
+        if event._cancelled:
+            return
         self._now = when
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
         for cb in callbacks:
             cb(event)
         if event._ok is False and not event.defused:
@@ -396,13 +554,17 @@ class Environment:
         prof = self.profiler
         prof.enter("kernel.step")
         try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-            if when < self._now:
-                raise AssertionError("event scheduled in the past")
+            popped_from_heap = not (self._bucket_urgent or self._bucket_normal)
+            when, event = self._next_entry()
+            prof.count("kernel.heap_pop" if popped_from_heap
+                       else "kernel.bucket_pop")
+            if event._cancelled:
+                prof.count("kernel.cancelled_skips")
+                return
             self._now = when
             self.events_processed += 1
             callbacks, event.callbacks = event.callbacks, None
-            prof.count("kernel.heap_pop")
+            assert callbacks is not None
             prof.count("kernel.callbacks_run", len(callbacks))
             for cb in callbacks:
                 cb(event)
@@ -436,8 +598,15 @@ class Environment:
                 )
 
         try:
-            while self._queue and self.peek() <= stop_at:
-                self.step()
+            while True:
+                if self._bucket_urgent or self._bucket_normal:
+                    # Bucket entries are always due at the current time,
+                    # which run() has already admitted (now <= stop_at).
+                    self.step()
+                elif self._queue and self._queue[0][0] <= stop_at:
+                    self.step()
+                else:
+                    break
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None:

@@ -1,12 +1,13 @@
-"""Timeouts, condition events and interrupts."""
+"""Timeouts, condition events, interrupts and re-armable timers."""
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.simkernel.core import NORMAL, Environment, Event
 
-__all__ = ["Timeout", "Condition", "AnyOf", "AllOf", "Interrupt"]
+__all__ = ["Timeout", "Condition", "AnyOf", "AllOf", "Interrupt",
+           "RearmableTimer"]
 
 
 class Interrupt(Exception):
@@ -25,6 +26,8 @@ class Interrupt(Exception):
 
 class Timeout(Event):
     """An event that fires a fixed ``delay`` after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: Environment, delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -45,6 +48,65 @@ class Timeout(Event):
         raise RuntimeError("a Timeout triggers itself")
 
 
+class RearmableTimer:
+    """A single-shot timer that can be cancelled and re-armed cheaply.
+
+    The fabric and fluid resources re-aim their "next completion" wakeup
+    every time the job set changes.  Historically each re-aim abandoned
+    the old :class:`Timeout` in the queue (guarded by a monotonically
+    increasing token) — the stale entry was still popped, clock-advanced
+    and counted, and a cancel + re-arm into the *same* tick could fire a
+    guard-passing duplicate.  This class instead marks the superseded
+    event ``_cancelled`` so the kernel drops it at pop time: exactly one
+    live entry per timer, never delivered twice.
+
+    ``callback`` is invoked with no arguments when the armed deadline is
+    reached and the timer has not been cancelled or re-armed since.
+    """
+
+    __slots__ = ("env", "_callback", "_pending")
+
+    def __init__(self, env: Environment, callback: Callable[[], None]) -> None:
+        self.env = env
+        self._callback = callback
+        self._pending: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a wakeup is scheduled."""
+        return self._pending is not None
+
+    def arm(self, delay: float) -> None:
+        """Schedule (or move) the wakeup to ``delay`` seconds from now."""
+        self.cancel()
+        event = Event(self.env)
+        event._ok = True
+        event._value = None
+        event.triggered_at = self.env.now + float(delay)
+        assert event.callbacks is not None
+        event.callbacks.append(self._fire)
+        self.env._schedule(event, NORMAL, delay=delay)
+        self._pending = event
+
+    def cancel(self) -> None:
+        """Drop the pending wakeup, if any.  Idempotent."""
+        if self._pending is not None:
+            self._pending._cancelled = True
+            self._pending = None
+
+    def _fire(self, event: Event) -> None:
+        if event is not self._pending:
+            # Belt over the kernel's braces: a cancelled entry should have
+            # been dropped at pop time and never reach its callbacks.
+            return  # pragma: no cover
+        self._pending = None
+        self._callback()
+
+    def __repr__(self) -> str:
+        state = "armed" if self._pending is not None else "idle"
+        return f"<RearmableTimer {state} at {id(self):#x}>"
+
+
 class Condition(Event):
     """Waits for a boolean combination of child events.
 
@@ -53,6 +115,8 @@ class Condition(Event):
     whole condition (and the child's exception is marked defused, since the
     condition consumes it).
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -109,12 +173,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Fires when the first of ``events`` fires."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: list[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
 
 
 class AllOf(Condition):
     """Fires when every one of ``events`` has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: list[Event]) -> None:
         super().__init__(env, Condition.all_events, events)

@@ -9,12 +9,22 @@ up to *now* and the next completion re-scheduled.
 This is the standard fluid approximation used by flow-level network and
 storage simulators; it reproduces throughput/latency interference without
 simulating individual requests.
+
+The job state (remaining bytes, weights) is array-backed: integration and
+the next-completion scan are numpy element-wise operations over the active
+prefix instead of per-job Python arithmetic.  The element-wise expressions
+mirror the scalar formulas exactly (same operations, same order per
+element), so results are unchanged; ``tests/differential`` holds the whole
+simulator to byte-identical outputs across kernels on top of this.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.obs.causal.record import annotate
 from repro.simkernel.core import Environment, Event
+from repro.simkernel.events import RearmableTimer
 
 __all__ = ["FluidShare", "FluidJob"]
 
@@ -27,7 +37,11 @@ _MIN_ETA = 1e-9
 
 
 class FluidJob:
-    """One in-flight transfer through a :class:`FluidShare`."""
+    """One in-flight transfer through a :class:`FluidShare`.
+
+    The authoritative remaining-byte counter lives in the share's arrays;
+    :attr:`remaining` is set at admission and zeroed at completion.
+    """
 
     __slots__ = ("nbytes", "remaining", "weight", "done", "started_at")
 
@@ -48,26 +62,32 @@ class FluidShare:
         self.env = env
         self.capacity = float(capacity)
         self.name = name
+        #: Active jobs, aligned with the first ``_n`` entries of the arrays.
         self._jobs: list[FluidJob] = []
+        self._remaining = np.zeros(8)
+        self._weights = np.zeros(8)
+        self._n = 0
         self._last_update = env.now
-        self._wakeup_token = 0
+        self._timer = RearmableTimer(env, self._on_wakeup)
         #: Total bytes ever completed through this resource.
         self.total_bytes = 0.0
 
     # -- public ------------------------------------------------------------
     @property
     def active_jobs(self) -> int:
-        return len(self._jobs)
+        return self._n
 
     @property
     def utilization(self) -> float:
         """1.0 while any job is active, else 0.0 (fluid model is work-conserving)."""
-        return 1.0 if self._jobs else 0.0
+        return 1.0 if self._n else 0.0
 
     def rate_of(self, job: FluidJob) -> float:
         """Current instantaneous rate of ``job`` in bytes/second."""
-        total_w = sum(j.weight for j in self._jobs)
-        if total_w <= 0 or job not in self._jobs:
+        if job not in self._jobs:
+            return 0.0
+        total_w = float(np.add.reduce(self._weights[: self._n]))
+        if total_w <= 0:
             return 0.0
         return self.capacity * job.weight / total_w
 
@@ -83,7 +103,7 @@ class FluidShare:
             return job.done
         annotate(self.env, job.done, "fluid", name=self.name)
         self._advance()
-        self._jobs.append(job)
+        self._admit(job)
         self._reschedule()
         return job.done
 
@@ -96,68 +116,106 @@ class FluidShare:
         self._reschedule()
 
     # -- internals -----------------------------------------------------------
+    def _admit(self, job: FluidJob) -> None:
+        n = self._n
+        if n == self._remaining.shape[0]:
+            self._remaining = np.resize(self._remaining, 2 * n)
+            self._weights = np.resize(self._weights, 2 * n)
+        self._remaining[n] = job.remaining
+        self._weights[n] = job.weight
+        self._jobs.append(job)
+        self._n = n + 1
+
     def _advance(self) -> None:
         """Integrate all jobs' progress from the last update to now."""
         now = self.env.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        n = self._n
+        if dt <= 0 or n == 0:
             return
         prof = self.env.profiler
         if prof.enabled:
             prof.enter("fluid.advance")
             prof.count("fluid.advances")
-            prof.count("fluid.jobs_touched", len(self._jobs))
+            prof.count("fluid.jobs_touched", n)
         try:
-            total_w = sum(j.weight for j in self._jobs)
             moved = self.capacity * dt
-            finished: list[FluidJob] = []
-            for job in self._jobs:
-                delta = moved * job.weight / total_w
-                job.remaining -= delta
-                if job.remaining <= _DONE_EPS:
+            if n == 1:
+                # Scalar fast path: the same operations the array
+                # expression below performs at n == 1 (so results are
+                # bit-identical), without per-call numpy overhead — a
+                # lone job is the common case for disk shares.
+                w = float(self._weights[0])
+                r = float(self._remaining[0]) - (moved * w) / w
+                if r <= _DONE_EPS:
+                    job = self._jobs[0]
+                    self._jobs = []
+                    self._n = 0
                     job.remaining = 0.0
-                    finished.append(job)
-            for job in finished:
-                self._jobs.remove(job)
-                self.total_bytes += job.nbytes
-                job.done.succeed(self.env.now - job.started_at)
+                    self.total_bytes += job.nbytes
+                    job.done.succeed(self.env.now - job.started_at)
+                else:
+                    self._remaining[0] = r
+                return
+            weights = self._weights[:n]
+            remaining = self._remaining[:n]
+            total_w = float(np.add.reduce(weights))
+            # Element-wise identical to the scalar
+            # ``remaining -= moved * weight / total_w`` per job.
+            remaining -= moved * weights / total_w
+            done_mask = remaining <= _DONE_EPS
+            if done_mask.any():
+                finished_idx = np.flatnonzero(done_mask)
+                finished = [self._jobs[i] for i in finished_idx]
+                keep = ~done_mask
+                kept = n - finished_idx.size
+                # Fancy indexing copies before the overlapping writeback.
+                self._remaining[:kept] = remaining[keep]
+                self._weights[:kept] = weights[keep]
+                self._jobs = [self._jobs[i] for i in np.flatnonzero(keep)]
+                self._n = kept
+                for job in finished:
+                    job.remaining = 0.0
+                    self.total_bytes += job.nbytes
+                    job.done.succeed(self.env.now - job.started_at)
         finally:
             if prof.enabled:
                 prof.exit()
 
     def _reschedule(self) -> None:
-        """Schedule a wakeup at the earliest next completion time."""
-        self._wakeup_token += 1
-        if not self._jobs:
+        """Re-aim the wakeup at the earliest next completion time."""
+        n = self._n
+        if n == 0:
+            self._timer.cancel()
             return
         prof = self.env.profiler
         if prof.enabled:
             prof.enter("fluid.reschedule")
         try:
-            token = self._wakeup_token
-            total_w = sum(j.weight for j in self._jobs)
+            if n == 1:
+                w = float(self._weights[0])
+                eta = float(self._remaining[0]) / ((self.capacity * w) / w)
+                self._timer.arm(max(eta, _MIN_ETA))
+                return
+            weights = self._weights[:n]
+            total_w = float(np.add.reduce(weights))
             # Per unit of weight, all jobs progress at the same normalized
             # speed, so the first to finish is the one with min
-            # remaining/weight.
-            eta = min(
-                j.remaining / (self.capacity * j.weight / total_w)
-                for j in self._jobs
-            )
-            timer = self.env.timeout(max(eta, _MIN_ETA))
-            timer.add_callback(lambda _ev: self._on_wakeup(token))
+            # remaining/rate; element-wise identical to the scalar
+            # ``remaining / (capacity * weight / total_w)`` per job.
+            etas = self._remaining[:n] / (self.capacity * weights / total_w)
+            self._timer.arm(max(float(etas.min()), _MIN_ETA))
         finally:
             if prof.enabled:
                 prof.exit()
 
-    def _on_wakeup(self, token: int) -> None:
-        if token != self._wakeup_token:
-            return  # stale timer: the job set changed since it was armed
+    def _on_wakeup(self) -> None:
         self._advance()
         self._reschedule()
 
     def __repr__(self) -> str:
         return (
             f"<FluidShare {self.name or hex(id(self))} cap={self.capacity:.0f}B/s "
-            f"jobs={len(self._jobs)}>"
+            f"jobs={self._n}>"
         )

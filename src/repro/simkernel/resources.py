@@ -20,6 +20,8 @@ __all__ = ["Resource", "Store", "Container"]
 class _Request(Event):
     """An event granted when the resource admits this request."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource

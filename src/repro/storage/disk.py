@@ -10,17 +10,34 @@ facts about the real system matter for fidelity:
    phase usually does *not* pay disk latency for hot chunks (IOR re-reads
    its just-written 1 GB file at ~1 GB/s).  Modeled by an LRU warm set of
    chunk indices sized to the host cache.
+
+The warm set is array-backed: membership is a boolean mask and recency a
+monotonic per-chunk stamp, so touching or probing a whole chunk batch is
+a vectorized operation instead of per-chunk dict churn.  Eviction drains
+a FIFO of ``(chunk, stamp)`` touch records, skipping records superseded
+by a newer stamp — exactly the least-recently-touched order an
+``OrderedDict.move_to_end`` implementation yields, membership-for-
+membership (the warm fraction feeds simulated I/O times, so "almost LRU"
+would change results).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import deque
 from typing import Iterable
+
+import numpy as np
 
 from repro.simkernel.core import Environment, Event
 from repro.simkernel.fluid import FluidShare
 
 __all__ = ["LocalDisk"]
+
+
+def _as_ids(chunks: Iterable[int]) -> np.ndarray:
+    if isinstance(chunks, np.ndarray):
+        return chunks.astype(np.int64, copy=False)
+    return np.asarray(list(chunks), dtype=np.int64)
 
 
 class LocalDisk:
@@ -52,7 +69,16 @@ class LocalDisk:
         self._base_bandwidth = float(bandwidth)
         self._share = FluidShare(env, bandwidth, name=f"disk:{name}")
         self._cache_slots = int(cache_bytes // chunk_size)
-        self._warm: OrderedDict[int, None] = OrderedDict()
+        # Warm-set state: membership mask + latest-touch stamp per chunk
+        # (grown on demand), a monotonic clock, and the eviction FIFO of
+        # touch records with lazy invalidation.
+        self._warm_mask = np.zeros(0, dtype=bool)
+        self._stamp = np.zeros(0, dtype=np.int64)
+        self._warm_count = 0
+        self._clock = 0
+        self._fifo: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._fifo_pos = 0
+        self._fifo_entries = 0
         #: Bytes served from cache (diagnostics).
         self.cache_hits_bytes = 0.0
         #: Bytes served from the platter.
@@ -72,32 +98,93 @@ class LocalDisk:
         self._share.set_capacity(self._base_bandwidth * factor)
 
     # -- warm set -----------------------------------------------------------
+    def _ensure_capacity(self, n: int) -> None:
+        cur = self._warm_mask.size
+        if n <= cur:
+            return
+        size = max(64, cur)
+        while size < n:
+            size *= 2
+        mask = np.zeros(size, dtype=bool)
+        mask[:cur] = self._warm_mask
+        stamp = np.zeros(size, dtype=np.int64)
+        stamp[:cur] = self._stamp
+        self._warm_mask = mask
+        self._stamp = stamp
+
     def touch(self, chunks: Iterable[int]) -> None:
         """Mark chunks warm (most recently used)."""
         if self._cache_slots == 0:
             return
-        warm = self._warm
-        for c in chunks:
-            c = int(c)
-            if c in warm:
-                warm.move_to_end(c)
-            else:
-                warm[c] = None
-        while len(warm) > self._cache_slots:
-            warm.popitem(last=False)
+        ids = _as_ids(chunks)
+        n = ids.size
+        if n == 0:
+            return
+        self._ensure_capacity(int(ids.max()) + 1)
+        stamps = np.arange(self._clock + 1, self._clock + n + 1,
+                           dtype=np.int64)
+        self._clock += n
+        # Duplicate ids within one batch: the last occurrence wins, same
+        # as repeated move_to_end calls.
+        self._stamp[ids] = stamps
+        if n == 1 or bool((ids[1:] > ids[:-1]).all()):
+            # Strictly increasing ids (contiguous write/push spans, the
+            # dominant case) are already exactly ``np.unique(ids)``.
+            uniq = ids
+        else:
+            uniq = np.unique(ids)
+        fresh = uniq[~self._warm_mask[uniq]]
+        if fresh.size:
+            self._warm_mask[fresh] = True
+            self._warm_count += int(fresh.size)
+        self._fifo.append((ids, stamps))
+        self._fifo_entries += n
+
+        while self._warm_count > self._cache_slots:
+            batch_ids, batch_stamps = self._fifo[0]
+            pos = self._fifo_pos
+            if pos >= batch_ids.size:
+                self._fifo.popleft()
+                self._fifo_pos = 0
+                continue
+            self._fifo_pos = pos + 1
+            c = batch_ids[pos]
+            # A record is live only while it holds the chunk's newest
+            # stamp; stale records (re-touched or already evicted chunks)
+            # are skipped, which is what makes FIFO-of-records == LRU.
+            if self._warm_mask[c] and self._stamp[c] == batch_stamps[pos]:
+                self._warm_mask[c] = False
+                self._warm_count -= 1
+
+        if self._fifo_entries > max(4 * self._cache_slots, 1024):
+            # Compact the record FIFO to the live set (stamp order ==
+            # recency order), bounding memory on long cache-underflow runs.
+            live = np.flatnonzero(self._warm_mask)
+            order = np.argsort(self._stamp[live], kind="stable")
+            self._fifo = deque([(live[order], self._stamp[live][order])])
+            self._fifo_pos = 0
+            self._fifo_entries = int(live.size)
 
     def is_warm(self, chunk: int) -> bool:
-        return int(chunk) in self._warm
+        c = int(chunk)
+        return c < self._warm_mask.size and bool(self._warm_mask[c])
 
     def evict_all(self) -> None:
-        self._warm.clear()
+        self._warm_mask[:] = False
+        self._warm_count = 0
+        self._fifo.clear()
+        self._fifo_pos = 0
+        self._fifo_entries = 0
 
     def warm_fraction(self, chunks: Iterable[int]) -> float:
-        chunks = list(chunks)
-        if not chunks:
+        ids = _as_ids(chunks)
+        if ids.size == 0:
             return 1.0
-        hits = sum(1 for c in chunks if int(c) in self._warm)
-        return hits / len(chunks)
+        if self._warm_count == 0:
+            return 0.0
+        in_range = ids[ids < self._warm_mask.size]
+        hits = int(np.count_nonzero(self._warm_mask[in_range]))
+        return hits / ids.size
 
     # -- I/O -----------------------------------------------------------------
     def io(self, nbytes: float, chunks: Iterable[int] | None = None,
@@ -110,12 +197,13 @@ class LocalDisk:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        warm_frac = self.warm_fraction(chunks) if chunks is not None else 0.0
+        ids = _as_ids(chunks) if chunks is not None else None
+        warm_frac = self.warm_fraction(ids) if ids is not None else 0.0
         cold_bytes = nbytes * (1.0 - warm_frac)
         self.cache_hits_bytes += nbytes - cold_bytes
         self.disk_bytes += cold_bytes
-        if chunks is not None:
-            self.touch(chunks)
+        if ids is not None:
+            self.touch(ids)
         if cold_bytes <= 0:
             ev = Event(self.env)
             ev.succeed(0.0)
@@ -123,4 +211,5 @@ class LocalDisk:
         return self._share.transfer(cold_bytes, weight=weight)
 
     def __repr__(self) -> str:
-        return f"<LocalDisk {self.name} {self.bandwidth / 1e6:.0f}MB/s warm={len(self._warm)}>"
+        return (f"<LocalDisk {self.name} {self.bandwidth / 1e6:.0f}MB/s "
+                f"warm={self._warm_count}>")
