@@ -5,6 +5,12 @@ itself, this one times what happens *after* a run — ingesting a traced
 migration's event stream, deriving the attribution/phase/heatmap
 summary, and rendering the HTML report.  The trace is produced once per
 session (a real hybrid migration under write pressure) and shared.
+
+Run directly, it instead renders the whole ``BENCH_simulator.json``
+trajectory as per-scenario history tables (wall, events/s and the key
+work counters across every recorded entry — not just the latest)::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [BENCH_simulator.json]
 """
 
 import pytest
@@ -70,3 +76,104 @@ def test_render_html(benchmark, traced_events):
     html = benchmark(render_html, summary)
     assert html.startswith("<!DOCTYPE html>")
     assert "<svg" in html
+
+
+# -- trajectory history rendering (plain script mode) --------------------------
+
+#: Counters worth a history column, per scenario, most informative first.
+_KEY_COUNTERS = 3
+
+
+def _entry_label(entry: dict) -> str:
+    git = entry.get("git")
+    ts = (entry.get("timestamp") or "")[:10]
+    return f"{git} {ts}".strip() if git else (ts or "entry")
+
+
+def _scenario_counters(entries: list[dict], name: str) -> list[str]:
+    """The key counters for one scenario: those present in the most
+    recent entry that has any, largest values first."""
+    for entry in reversed(entries):
+        for sc in entry.get("scenarios", []):
+            if sc.get("name") != name:
+                continue
+            counters = sc.get("profile", {}).get("counters", {})
+            if counters:
+                ranked = sorted(counters, key=lambda k: (-counters[k], k))
+                return ranked[:_KEY_COUNTERS]
+    return []
+
+
+def render_history(history: list[dict]) -> str:
+    """Per-scenario history tables over every trajectory entry."""
+    names: list[str] = []
+    for entry in history:
+        for sc in entry.get("scenarios", []):
+            if sc.get("name") not in names:
+                names.append(sc.get("name"))
+    lines = [f"== BENCH trajectory: {len(history)} entries"]
+    for name in names:
+        counters = _scenario_counters(history, name)
+        header = ("entry".ljust(20) + "mode".rjust(7) + "wall_s".rjust(10)
+                  + "events".rjust(11) + "events/s".rjust(12))
+        for c in counters:
+            header += c.split(".")[-1].rjust(16)
+        lines.append(f"-- {name}")
+        lines.append(header)
+        for entry in history:
+            for sc in entry.get("scenarios", []):
+                if sc.get("name") != name:
+                    continue
+                row = (_entry_label(entry)[:19].ljust(20)
+                       + str(entry.get("mode", "?")).rjust(7))
+                wall = sc.get("wall_s")
+                row += (f"{wall:.3f}".rjust(10) if wall is not None
+                        else "-".rjust(10))
+                events = sc.get("events")
+                row += (f"{events:,}".rjust(11) if events is not None
+                        else "-".rjust(11))
+                eps = sc.get("events_per_s")
+                row += (f"{eps:,.0f}".rjust(12) if eps is not None
+                        else "-".rjust(12))
+                sc_counters = sc.get("profile", {}).get("counters", {})
+                for c in counters:
+                    value = sc_counters.get(c)
+                    row += (f"{value:,}".rjust(16) if value is not None
+                            else "-".rjust(16))
+                lines.append(row)
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import pathlib
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="render the BENCH trajectory as per-scenario history "
+                    "tables")
+    parser.add_argument(
+        "trajectory", nargs="?",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_simulator.json"),
+        help="trajectory file (default: BENCH_simulator.json at repo root)")
+    args = parser.parse_args(argv)
+    path = pathlib.Path(args.trajectory)
+    if not path.exists():
+        print(f"error: {path} does not exist — run "
+              "benchmarks/trajectory.py first", file=sys.stderr)
+        return 2
+    history = json.loads(path.read_text())
+    if not isinstance(history, list) or not history:
+        print(f"error: {path} holds no trajectory entries", file=sys.stderr)
+        return 2
+    print(render_history(history))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

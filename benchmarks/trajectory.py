@@ -420,6 +420,37 @@ def check_links_regression(entry: dict, history: list) -> str | None:
     return None
 
 
+def _previous_same_mode(entry: dict, history: list) -> dict | None:
+    for old in reversed(history):
+        if old.get("mode") == entry.get("mode") and old is not entry:
+            return old
+    return None
+
+
+def explain_regression(entry: dict, history: list, top: int = 8) -> str | None:
+    """The ranked delta table attributing a gate failure.
+
+    Runs the ``repro.obs.diff`` engine between the previous same-mode
+    entry and this one, so a tripped gate names the scenarios, profiler
+    scopes and work counters that moved instead of a bare percentage.
+    Returns None when there is no comparable history.
+    """
+    previous = _previous_same_mode(entry, history)
+    if previous is None:
+        return None
+    from repro.obs.diff import (
+        artifact_from_bench_entry,
+        diff_artifacts,
+        render_diff_text,
+    )
+
+    doc = diff_artifacts(
+        artifact_from_bench_entry(previous, "previous entry"),
+        artifact_from_bench_entry(entry, "this entry"),
+    )
+    return render_diff_text(doc, top=top)
+
+
 def append_entry(out_path: pathlib.Path, entry: dict) -> list:
     """Append ``entry`` to the trajectory file; returns the new history."""
     history = []
@@ -465,14 +496,22 @@ def main(argv=None) -> int:
         print("error: critical-path conservation check failed",
               file=sys.stderr)
         rc = 1
+    tripped = False
     for gate in (check_regression, check_links_regression):
         regression = gate(entry, history)
         if regression is not None:
             print(f"error: {regression}", file=sys.stderr)
+            tripped = True
             if args.no_gate:
                 print("(--no-gate: recorded but not failing)", file=sys.stderr)
             else:
                 rc = 1
+    if tripped:
+        # Attribute the regression: which scenarios, scopes and counters
+        # moved against the previous same-mode entry, ranked by |delta|.
+        explanation = explain_regression(entry, history)
+        if explanation is not None:
+            print(explanation, file=sys.stderr)
     return rc
 
 

@@ -13,6 +13,7 @@ Python::
     python -m repro.cli compare --workload asyncwr
     python -m repro.cli analyze trace.json [--json out.json] [--html out.html]
     python -m repro.cli profile [--speedscope prof.json] [--check]
+    python -m repro.cli diff runA.json runB.json [--json] [--top 5]
 """
 
 from __future__ import annotations
@@ -200,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workload", choices=["ior", "asyncwr"], default="ior")
     compare.add_argument("--warmup", type=float, default=10.0)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--diff", action="store_true",
+                         help="after the table, attribute each approach's "
+                              "delta against our-approach (bytes by cause, "
+                              "critical path, migration wall)")
+    compare.add_argument("--top", type=int, default=5,
+                         help="contributors per dimension in --diff tables")
     _add_obs_flags(compare)
     _add_fault_flags(compare)
 
@@ -258,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--check", action="store_true",
                          help="exit non-zero unless exclusive times sum to "
                               "total wall within 1%%")
+
+    diff = sub.add_parser(
+        "diff",
+        help="attribute the delta between two runs: consumes two artifacts "
+             "of the same kind (analyze/critical-path/profile JSON, or "
+             "BENCH trajectory entries) and decomposes every changed total "
+             "into exactly-conserving per-key contributions",
+    )
+    diff.add_argument("artifact_a", metavar="A",
+                      help="first artifact (the baseline)")
+    diff.add_argument("artifact_b", metavar="B",
+                      help="second artifact (the candidate)")
+    diff.add_argument("--json", metavar="OUT.json", nargs="?", const="-",
+                      default=None,
+                      help="emit the deterministic JSON document instead of "
+                           "the table (to stdout, or to OUT.json)")
+    diff.add_argument("--report", metavar="OUT.html", default=None,
+                      help="also write a side-by-side HTML delta panel")
+    diff.add_argument("--top", type=int, default=10,
+                      help="ranked contributors shown per dimension "
+                           "(default 10)")
+    diff.add_argument("--entry-a", type=int, default=None,
+                      help="entry index when A is a BENCH trajectory file "
+                           "(negative counts from the end)")
+    diff.add_argument("--entry-b", type=int, default=None,
+                      help="entry index when B is a BENCH trajectory file")
 
     lint = sub.add_parser(
         "lint",
@@ -321,15 +354,40 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _load_trace_or_exit(path: str):
+    """Events from a trace file, or ``None`` after printing a one-line
+    error (unreadable file / bad JSON must never escape as a traceback)."""
+    import json
+
+    from repro.obs.analyze import load_trace
+
+    try:
+        return load_trace(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid trace JSON: {exc}",
+              file=sys.stderr)
+    return None
+
+
 def _cmd_analyze(args) -> int:
     from repro.obs.analyze import (
-        analyze_file,
+        analyze_events,
         render_html,
         render_text,
         write_summary_json,
     )
 
-    summary = analyze_file(args.trace_file)
+    events = _load_trace_or_exit(args.trace_file)
+    if events is None:
+        return 2
+    summary = analyze_events(events)
+    if not summary["runs"]:
+        print(f"error: no recorded runs in {args.trace_file} — record the "
+              "trace with --trace (add --causal for critical-path sections, "
+              "--profile for host profiling)", file=sys.stderr)
+        return 2
     print(render_text(summary))
     if args.json is not None:
         write_summary_json(summary, args.json)
@@ -350,7 +408,6 @@ def _cmd_analyze(args) -> int:
 def _cmd_critical_path(args) -> int:
     import json
 
-    from repro.obs.analyze import load_trace
     from repro.obs.causal import critical_path_summary, parse_what_if
 
     try:
@@ -358,10 +415,14 @@ def _cmd_critical_path(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    out = critical_path_summary(load_trace(args.trace_file), specs)
+    events = _load_trace_or_exit(args.trace_file)
+    if events is None:
+        return 2
+    out = critical_path_summary(events, specs)
     all_attempts = [a for r in out["runs"] for a in r["attempts"]]
     if not all_attempts:
-        print("error: no causal records in trace (re-run with --causal)",
+        print(f"error: no causal records in {args.trace_file} — re-run the "
+              "experiment with --causal to record wait edges",
               file=sys.stderr)
         return 2
     if args.json:
@@ -409,6 +470,71 @@ def _render_critical_text(out: dict) -> str:
             )
         lines.append("")
     return "\n".join(lines).rstrip()
+
+
+def _cmd_diff(args) -> int:
+    import pathlib
+
+    from repro.obs.diff import (
+        DiffError,
+        diff_files,
+        diff_json,
+        render_diff_html,
+        render_diff_text,
+    )
+
+    try:
+        doc = diff_files(args.artifact_a, args.artifact_b,
+                         entry_a=args.entry_a, entry_b=args.entry_b)
+    except DiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        sys.stdout.write(diff_json(doc))
+    else:
+        print(render_diff_text(doc, top=args.top))
+        if args.json is not None:
+            path = pathlib.Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(diff_json(doc))
+            print(f"wrote {args.json}", file=sys.stderr)
+    if args.report is not None:
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_diff_html(doc, top=args.top))
+        print(f"wrote {args.report}", file=sys.stderr)
+    if not doc["conservation_ok"]:
+        print("diff conservation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _compare_diff_text(obs, args) -> str:
+    """Attribute each approach's delta against our-approach from the
+    compare run's own trace (``repro compare --diff``)."""
+    from repro.obs.analyze import analyze_tracer
+    from repro.obs.diff import (
+        artifact_from_analyze_summary,
+        diff_artifacts,
+        render_diff_text,
+    )
+
+    art = artifact_from_analyze_summary(
+        analyze_tracer(obs.tracer), "compare")
+    base = next((r for r in art["runs"]
+                 if r["label"].startswith("our-approach/")), None)
+    if base is None:
+        return "(no our-approach run recorded; nothing to diff against)"
+    blocks = []
+    for run in art["runs"]:
+        if run is base:
+            continue
+        doc = diff_artifacts(
+            {"kind": "analyze", "source": base["label"], "runs": [base]},
+            {"kind": "analyze", "source": run["label"], "runs": [run]},
+        )
+        blocks.append(render_diff_text(doc, top=args.top))
+    return "\n\n".join(blocks)
 
 
 def _outcome_row(outcome) -> list:
@@ -467,11 +593,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "critical-path":
         return _cmd_critical_path(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 
         return run_lint(args)
     obs = _make_obs(args)
+    if args.command == "compare" and args.diff and obs is None:
+        # --diff needs a recorded trace even when no export flag was given.
+        from repro.obs import Observability
+
+        obs = Observability(trace=True, causal=True)
     if args.command == "table1":
         from repro.experiments.table1 import render_table1
 
@@ -503,6 +636,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_cmd_single(args, obs=obs))
     elif args.command == "compare":
         print(_cmd_compare(args, obs=obs))
+        if args.diff:
+            print()
+            print(_compare_diff_text(obs, args))
     _write_obs(obs, args)
     return 0
 

@@ -29,6 +29,31 @@ def _default_layers() -> dict[str, int]:
     }
 
 
+def _default_obs_layers() -> dict[str, int]:
+    # The observability sub-DAG: the diff engine consumes the other
+    # analysis products (flight summaries, critical paths, profiler
+    # trees) and must never be imported back by their producers — that
+    # would make every artifact schema circularly depend on its own
+    # differ.  Everything else under ``repro.obs`` shares the base rank
+    # on purpose: analyze and causal are mutually recursive by design
+    # (causal borrows the analyzer's lane maps, the analyzer embeds
+    # critical paths).
+    return {
+        "repro.obs": 0,
+        "repro.obs.diff": 1,
+    }
+
+
+def _layer_lookup(module: str, layers: dict[str, int]) -> int | None:
+    best = None
+    best_len = -1
+    for prefix, rank in layers.items():
+        if module == prefix or module.startswith(prefix + "."):
+            if len(prefix) > best_len:
+                best, best_len = rank, len(prefix)
+    return best
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Scoping knobs for the five rule families."""
@@ -61,6 +86,7 @@ class LintConfig:
         "repro.obs.analyze.attribution",
         "repro.obs.causal.critical",
         "repro.obs.causal.whatif",
+        "repro.obs.diff.delta",
     )
 
     #: K rules apply to generator functions in modules under these
@@ -79,6 +105,9 @@ class LintConfig:
     #: Layer ranks for the S rules (longest-prefix match).
     layers: dict[str, int] = field(default_factory=_default_layers)
 
+    #: Sub-DAG inside the (globally unranked) obs package, for S502.
+    obs_layers: dict[str, int] = field(default_factory=_default_obs_layers)
+
     #: Receiver-name suffixes identifying the byte-moving surfaces for
     #: the C rules: ``<receiver>.<method>(...)`` must pass the required
     #: keywords explicitly when the receiver's final attribute segment
@@ -90,13 +119,11 @@ class LintConfig:
 
     def layer_of(self, module: str) -> int | None:
         """Layer rank of ``module`` by longest prefix match, if mapped."""
-        best = None
-        best_len = -1
-        for prefix, rank in self.layers.items():
-            if module == prefix or module.startswith(prefix + "."):
-                if len(prefix) > best_len:
-                    best, best_len = rank, len(prefix)
-        return best
+        return _layer_lookup(module, self.layers)
+
+    def obs_layer_of(self, module: str) -> int | None:
+        """Rank of ``module`` in the obs sub-DAG, if it lives there."""
+        return _layer_lookup(module, self.obs_layers)
 
 
 DEFAULT_CONFIG = LintConfig()

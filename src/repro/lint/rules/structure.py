@@ -8,7 +8,11 @@ mechanism to its policy — the classic inversion that makes the kernel
 untestable in isolation and turns refactors into dependency knots.
 
 Cross-cutting packages (``obs``, ``metrics``, ``faults``, ``lint``) are
-deliberately unranked and may be imported from anywhere.  Imports inside
+deliberately unranked in the global DAG and may be imported from
+anywhere — but ``obs`` carries its own sub-DAG (S502): the diff engine
+(``repro.obs.diff``) consumes the analysis artifacts and may import
+``obs.analyze``/``obs.causal``/``obs.prof``, while nothing else in
+``obs.*`` may import ``obs.diff`` back.  Imports inside
 ``if TYPE_CHECKING:`` blocks are annotations-only and exempt.
 """
 
@@ -24,10 +28,16 @@ _HINT = ("the layer DAG is simkernel <- netsim <- storage/hypervisor/"
          "the shared piece down a layer or invert the dependency "
          "(callback, event, protocol)")
 
+_OBS_HINT = ("repro.obs.diff consumes the analysis artifacts "
+             "(summaries, critical paths, profiler trees); producers "
+             "must stay importable without it — move the shared piece "
+             "into obs.analyze/obs.causal/obs.prof or pass the data in")
+
 
 def check(ctx: FileContext) -> list[Finding]:
     my_layer = ctx.config.layer_of(ctx.module)
-    if my_layer is None:
+    my_obs_layer = ctx.config.obs_layer_of(ctx.module)
+    if my_layer is None and my_obs_layer is None:
         return []
     out: list[Finding] = []
     for node in ast.walk(ctx.tree):
@@ -48,11 +58,21 @@ def check(ctx: FileContext) -> list[Finding]:
         if node.lineno in ctx.type_checking_lines:
             continue
         for target in targets:
-            their_layer = ctx.config.layer_of(target)
-            if their_layer is not None and their_layer > my_layer:
-                out.append(ctx.finding(
-                    node, "S501",
-                    f"'{ctx.module}' (layer {my_layer}) imports "
-                    f"'{target}' (layer {their_layer}) — upward "
-                    "dependency inverts the layer DAG", _HINT))
+            if my_layer is not None:
+                their_layer = ctx.config.layer_of(target)
+                if their_layer is not None and their_layer > my_layer:
+                    out.append(ctx.finding(
+                        node, "S501",
+                        f"'{ctx.module}' (layer {my_layer}) imports "
+                        f"'{target}' (layer {their_layer}) — upward "
+                        "dependency inverts the layer DAG", _HINT))
+            if my_obs_layer is not None:
+                their_obs = ctx.config.obs_layer_of(target)
+                if their_obs is not None and their_obs > my_obs_layer:
+                    out.append(ctx.finding(
+                        node, "S502",
+                        f"'{ctx.module}' (obs rank {my_obs_layer}) "
+                        f"imports '{target}' (obs rank {their_obs}) — "
+                        "an analysis producer importing the diff engine "
+                        "inverts the obs sub-DAG", _OBS_HINT))
     return out

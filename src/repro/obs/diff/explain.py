@@ -1,0 +1,176 @@
+"""The regression explainer: join the diffed dimensions into a story.
+
+A delta table per dimension says *what* moved; this module says *why it
+reads as a regression (or a win)* by joining the dimensions the way a
+human would: start from the headline time dimension (simulated
+migration wall, host wall per scenario, host wall per scope — whichever
+the artifact kind carries), name its top contributors, then correlate
+with the work counters that moved in the same run pair and with
+byte-attribution causes that appeared or vanished (``retry.*`` showing
+up is a fault-recovery signature, not a protocol change).
+
+Everything is a pure function of the dimension-delta blocks, so the
+output is deterministic: identical artifact pairs produce identical
+findings, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["explain_pair"]
+
+#: Headline candidates, most meaningful first per artifact kind.
+_HEADLINE_DIMS = (
+    "sim.wall.migrations",
+    "host.wall.by_scenario",
+    "critical.by_resource",
+    "host.wall.by_scope",
+    "bytes.by_cause",
+)
+
+#: Relative change below which a total is reported as unchanged.
+_FLAT_REL = 0.005
+
+
+def _fmt_value(value: float, unit: str) -> str:
+    if unit == "B":
+        for suffix, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+            if abs(value) >= scale:
+                return f"{value / scale:.2f} {suffix}"
+        return f"{value:.0f} B"
+    if unit == "s":
+        return f"{value:.3f} s"
+    return f"{value:,.0f}"
+
+
+def _fmt_delta(value: float, unit: str) -> str:
+    sign = "+" if value >= 0 else "-"
+    return sign + _fmt_value(abs(value), unit)
+
+
+def _fmt_ratio(ratio: float) -> str:
+    return f"{ratio:.2f}x" if ratio < 100 else f"{ratio:.0f}x"
+
+
+def _verdict(dim: dict) -> str:
+    ratio = dim["ratio"]
+    if ratio is None:
+        return "appeared" if dim["delta"] > 0 else "unchanged"
+    if ratio > 1.0 + _FLAT_REL:
+        return f"grew {_fmt_ratio(ratio)}"
+    if 0 < ratio < 1.0 - _FLAT_REL:
+        return f"shrank to {_fmt_ratio(ratio)[:-1]}x"
+    if dim["unit"] == "s" and abs(dim["delta"]) > 0:
+        return "moved"
+    return "unchanged"
+
+
+def _time_verdict(dim: dict) -> str:
+    ratio = dim["ratio"]
+    if ratio is None:
+        return "appeared"
+    if ratio > 1.0 + _FLAT_REL:
+        return f"slowed {_fmt_ratio(ratio)}"
+    if 0 < ratio < 1.0 - _FLAT_REL:
+        return f"sped up {_fmt_ratio(1.0 / ratio)}"
+    return "held steady"
+
+
+def _top_movers(dim: dict, n: int = 3) -> list:
+    return [c for c in dim["contributions"][:n] if c["delta"] != 0]
+
+
+def _dim(dimensions: list, name: str) -> Optional[dict]:
+    for dim in dimensions:
+        if dim["name"] == name:
+            return dim
+    return None
+
+
+def _counter_clause(dimensions: list) -> Optional[str]:
+    counters = _dim(dimensions, "work.counters")
+    if counters is None:
+        return None
+    movers = _top_movers(counters, n=2)
+    if not movers:
+        return None
+    parts = []
+    for c in movers:
+        if c["a"] > 0 and c["b"] > 0:
+            parts.append(f"{c['key']} x{c['b'] / c['a']:.1f}")
+        else:
+            parts.append(f"{c['key']} {_fmt_delta(c['delta'], 'count')}")
+    return "correlated with " + ", ".join(parts)
+
+
+def _cause_clause(dimensions: list) -> Optional[str]:
+    causes = _dim(dimensions, "bytes.by_cause")
+    if causes is None:
+        return None
+    if causes["new_keys"]:
+        return ("introduced by flows with cause "
+                + ", ".join(causes["new_keys"]))
+    retry = [c for c in causes["contributions"]
+             if c["key"].startswith("retry.") and c["delta"] > 0]
+    if retry:
+        return ("with " + ", ".join(
+            f"{c['key']} {_fmt_delta(c['delta'], 'B')}" for c in retry[:2]))
+    return None
+
+
+def explain_pair(dimensions: list) -> dict:
+    """``{"headline": str, "findings": [...]}`` for one diffed run pair.
+
+    The headline joins the leading time dimension's verdict with its top
+    contributor, the strongest-moving work counters and any new or grown
+    ``retry.*`` byte causes.  ``findings`` carries one entry per
+    dimension that moved at all, ranked-movers included, for programmatic
+    consumers (the trajectory gate, ``compare --diff``).
+    """
+    findings = []
+    for dim in dimensions:
+        movers = _top_movers(dim)
+        if not movers and not dim["new_keys"] and not dim["vanished_keys"]:
+            continue
+        clauses = [
+            f"{c['key']} {_fmt_delta(c['delta'], dim['unit'])}"
+            f" ({100 * c['share']:.0f}%)"
+            for c in movers
+        ]
+        text = (f"{dim['name']} {_verdict(dim)} "
+                f"({_fmt_value(dim['total_a'], dim['unit'])} -> "
+                f"{_fmt_value(dim['total_b'], dim['unit'])})")
+        if clauses:
+            text += ": " + ", ".join(clauses)
+        findings.append({
+            "dimension": dim["name"],
+            "unit": dim["unit"],
+            "delta": dim["delta"],
+            "ratio": dim["ratio"],
+            "top": [{k: c[k] for k in ("key", "a", "b", "delta", "share")}
+                    for c in movers],
+            "text": text,
+        })
+
+    headline = "no differences found"
+    for name in _HEADLINE_DIMS:
+        dim = _dim(dimensions, name)
+        if dim is None or (dim["delta"] == 0 and not dim["new_keys"]
+                           and not dim["vanished_keys"]):
+            continue
+        verdict = (_time_verdict(dim) if dim["unit"] == "s"
+                   else _verdict(dim))
+        headline = (f"{name} {verdict}: "
+                    f"{_fmt_value(dim['total_a'], dim['unit'])} -> "
+                    f"{_fmt_value(dim['total_b'], dim['unit'])}")
+        movers = _top_movers(dim, n=1)
+        if movers:
+            c = movers[0]
+            headline += (f"; {100 * c['share']:.0f}% of the movement is "
+                         f"{c['key']} ({_fmt_delta(c['delta'], dim['unit'])})")
+        for clause in (_counter_clause(dimensions), _cause_clause(dimensions)):
+            if clause:
+                headline += f", {clause}"
+        break
+    return {"headline": headline, "findings": findings}

@@ -1,0 +1,264 @@
+"""Artifact loading + normalization for the run-comparison engine.
+
+Every observability artifact the repo produces is a different view of
+one run; to diff two of them they must first agree on a shape.  This
+module canonicalizes each supported artifact kind into the same
+normalized form — a list of *runs*, each carrying keyed series grouped
+into named **dimensions** (unit-tagged ``{key: value}`` maps whose
+values are exact binary floats):
+
+========================  =====================================================
+kind                      source document
+========================  =====================================================
+``analyze``               flight-recorder summary (``repro analyze --json``,
+                          schema ``repro.analyze/1``) — or a raw trace
+                          (``--trace`` output), which is analyzed on the fly
+``critical-path``         ``repro critical-path --json``
+                          (schema ``repro.critical-path/1``)
+``prof``                  self-profiler summary (``repro profile --json``,
+                          schema ``repro.prof/1``)
+``bench``                 one entry of ``BENCH_simulator.json``
+                          (schema ``repro.bench/1``; the file is an array —
+                          pick an entry by index)
+========================  =====================================================
+
+Only *additive* quantities become dimensions (bytes, seconds, counts):
+those are the ones whose per-key deltas can telescope to the total
+delta.  Ratios like events/s are recomputed by the explainer from the
+additive parts.
+
+Unknown or mismatched schemas raise :class:`DiffError` with a one-line
+actionable message *before* any output is produced — a diff across
+schema versions is refused, never half-rendered.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+__all__ = [
+    "DiffError",
+    "artifact_from_analyze_summary",
+    "artifact_from_bench_entry",
+    "artifact_from_critical_path",
+    "artifact_from_prof_summary",
+    "load_artifact",
+]
+
+_PathLike = Union[str, pathlib.Path]
+
+#: Schemas this engine understands, mapped to their normalized kind.
+_SCHEMA_KINDS = {
+    "repro.analyze/1": "analyze",
+    "repro.critical-path/1": "critical-path",
+    "repro.prof/1": "prof",
+    "repro.bench/1": "bench",
+}
+
+
+class DiffError(Exception):
+    """A user-facing, one-line refusal (unknown schema, kind mismatch,
+    unreadable artifact).  The CLI prints ``error: <message>`` and exits
+    nonzero without emitting any partial output."""
+
+
+def _series(run: dict, name: str, unit: str, values: dict) -> None:
+    """Attach one dimension to a normalized run (empty series are kept:
+    an empty-vs-populated pair must still diff, as all-new keys)."""
+    run["series"][name] = {"unit": unit, "values": dict(values)}
+
+
+def _new_run(label: str) -> dict:
+    return {"label": label, "series": {}}
+
+
+# -- analyze summaries ---------------------------------------------------------
+
+def _normalize_analyze_run(run: dict) -> dict:
+    out = _new_run(run.get("label", "run"))
+    att = run.get("attribution", {})
+    metered = att.get("metered")
+    flows = att.get("flows_by_cause", {})
+    if metered is not None:
+        _series(out, "bytes.by_cause", "B", metered.get("by_cause", {}))
+        _series(out, "bytes.by_tag", "B", metered.get("by_tag", {}))
+    else:
+        _series(out, "bytes.by_cause", "B",
+                {c: st.get("bytes", 0.0) for c, st in flows.items()})
+    _series(out, "flows.by_cause", "count",
+            {c: st.get("flows", 0) for c, st in flows.items()})
+    walls: dict = {}
+    for tl in run.get("phases", {}).get("migrations", []):
+        key = f"{tl['vm']}#{tl['attempt']}"
+        walls[key] = tl["end_s"] - tl["start_s"]
+    _series(out, "sim.wall.migrations", "s", walls)
+    by_resource: dict = {}
+    for cp in run.get("critical_path") or []:
+        for row in cp.get("by_resource", []):
+            key = row["resource"]
+            by_resource[key] = by_resource.get(key, 0.0) + row["seconds"]
+    if by_resource:
+        _series(out, "critical.by_resource", "s", by_resource)
+    return out
+
+
+def artifact_from_analyze_summary(summary: dict, source: str) -> dict:
+    """Normalize a flight-recorder summary (``repro.analyze/1``)."""
+    return {
+        "kind": "analyze",
+        "source": source,
+        "runs": [_normalize_analyze_run(r) for r in summary.get("runs", [])],
+    }
+
+
+# -- critical-path documents ---------------------------------------------------
+
+def artifact_from_critical_path(doc: dict, source: str) -> dict:
+    """Normalize a ``repro critical-path --json`` document."""
+    runs = []
+    for run in doc.get("runs", []):
+        out = _new_run(run.get("label", "run"))
+        by_resource: dict = {}
+        walls: dict = {}
+        for att in run.get("attempts", []):
+            walls[f"{att['vm']}#{att['attempt']}"] = att["wall_s"]
+            for row in att.get("by_resource", []):
+                key = row["resource"]
+                by_resource[key] = by_resource.get(key, 0.0) + row["seconds"]
+        _series(out, "critical.by_resource", "s", by_resource)
+        _series(out, "sim.wall.migrations", "s", walls)
+        runs.append(out)
+    return {"kind": "critical-path", "source": source, "runs": runs}
+
+
+# -- profiler summaries --------------------------------------------------------
+
+def _flatten_prof_tree(tree: list, prefix: str, out: dict) -> None:
+    for node in tree:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        out[path] = out.get(path, 0.0) + node.get("exclusive_s", 0.0)
+        _flatten_prof_tree(node.get("children", []), path, out)
+
+
+def artifact_from_prof_summary(summary: dict, source: str) -> dict:
+    """Normalize a self-profiler summary (``repro.prof/1``)."""
+    if not summary.get("enabled", False):
+        raise DiffError(
+            f"profile summary in {source} was recorded with profiling "
+            "disabled — re-run with --profile (or repro profile --json)")
+    run = _new_run("profile")
+    wall: dict = {}
+    _flatten_prof_tree(summary.get("tree", []), "", wall)
+    _series(run, "host.wall.by_scope", "s", wall)
+    _series(run, "work.counters", "count", summary.get("counters", {}))
+    return {"kind": "prof", "source": source, "runs": [run]}
+
+
+# -- benchmark trajectory entries ----------------------------------------------
+
+def artifact_from_bench_entry(entry: dict, source: str) -> dict:
+    """Normalize one ``BENCH_simulator.json`` entry (``repro.bench/1``)."""
+    label = entry.get("git") or entry.get("timestamp") or "entry"
+    run = _new_run(str(label))
+    wall: dict = {}
+    events: dict = {}
+    scope_wall: dict = {}
+    counters: dict = {}
+    for sc in entry.get("scenarios", []):
+        name = sc.get("name", "scenario")
+        wall[name] = sc.get("wall_s", 0.0)
+        if sc.get("events") is not None:
+            events[name] = sc["events"]
+        profile = sc.get("profile")
+        if profile:
+            for path, secs in profile.get("wall_s", {}).items():
+                scope_wall[f"{name}/{path}"] = secs
+            for counter, value in profile.get("counters", {}).items():
+                counters[f"{name}/{counter}"] = value
+    _series(run, "host.wall.by_scenario", "s", wall)
+    _series(run, "sim.events.by_scenario", "count", events)
+    _series(run, "host.wall.by_scope", "s", scope_wall)
+    _series(run, "work.counters", "count", counters)
+    return {"kind": "bench", "source": source, "runs": [run]}
+
+
+# -- file loading --------------------------------------------------------------
+
+def _looks_like_trace(data) -> bool:
+    if isinstance(data, dict) and "traceEvents" in data:
+        return True
+    return (isinstance(data, list) and bool(data)
+            and all(isinstance(e, dict) and "ph" in e for e in data[:16]))
+
+
+def _read_json(path: pathlib.Path):
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DiffError(f"cannot read {path}: {exc}") from exc
+    try:
+        if path.suffix == ".jsonl":
+            return [json.loads(line) for line in text.splitlines()
+                    if line.strip()]
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DiffError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def load_artifact(path: _PathLike, entry: Optional[int] = None) -> dict:
+    """Load + normalize one artifact file of any supported kind.
+
+    ``entry`` selects an entry of a ``BENCH_simulator.json`` array
+    (negative indices count from the end, default ``-1``); it is
+    rejected for single-document artifacts.
+    """
+    path = pathlib.Path(path)
+    data = _read_json(path)
+    source = path.name
+
+    if isinstance(data, list) and data and isinstance(data[0], dict) \
+            and data[0].get("schema") == "repro.bench/1":
+        idx = -1 if entry is None else entry
+        try:
+            picked = data[idx]
+        except IndexError:
+            raise DiffError(
+                f"{source} has {len(data)} entries; entry {idx} is out of "
+                "range") from None
+        return artifact_from_bench_entry(
+            picked, f"{source}[{idx if idx >= 0 else len(data) + idx}]")
+
+    if entry is not None:
+        raise DiffError(
+            f"--entry only applies to BENCH trajectory files; {source} is "
+            "a single-document artifact")
+
+    if _looks_like_trace(data):
+        from repro.obs.analyze import analyze_events
+
+        events = data.get("traceEvents", []) if isinstance(data, dict) else data
+        summary = analyze_events(events)
+        if not summary["runs"]:
+            raise DiffError(
+                f"{source} contains no recorded runs — record the trace "
+                "with --trace (add --causal for critical-path sections)")
+        return artifact_from_analyze_summary(summary, source)
+
+    if not isinstance(data, dict):
+        raise DiffError(f"{source} is not a recognized repro artifact")
+    schema = data.get("schema")
+    kind = _SCHEMA_KINDS.get(schema)
+    if kind is None:
+        raise DiffError(
+            f"{source} has unsupported schema {schema!r} — this engine "
+            f"understands {sorted(_SCHEMA_KINDS)} (is it from a newer or "
+            "older version?)")
+    if kind == "analyze":
+        return artifact_from_analyze_summary(data, source)
+    if kind == "critical-path":
+        return artifact_from_critical_path(data, source)
+    if kind == "prof":
+        return artifact_from_prof_summary(data, source)
+    return artifact_from_bench_entry(data, source)

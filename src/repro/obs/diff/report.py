@@ -1,0 +1,203 @@
+"""Render a diff document: ranked terminal tables and side-by-side HTML.
+
+The HTML view rides on the flight report's design system — same CSS
+custom properties, same card layout, same bar helper — so a diff panel
+and a flight report read as one family of artifacts.  Positive time/byte
+deltas (B costs more than A) render in the alarm hue, negative ones in
+the good hue; the ranked table under every chart is the source of truth.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.obs.analyze.report import _CSS, _bar
+
+__all__ = ["render_diff_text", "render_diff_html"]
+
+
+def _fmt(value: float, unit: str) -> str:
+    if unit == "B":
+        for suffix, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+            if abs(value) >= scale:
+                return f"{value / scale:.2f} {suffix}"
+        return f"{value:.0f} B"
+    if unit == "s":
+        return f"{value:.4f} s" if abs(value) < 10 else f"{value:.2f} s"
+    return f"{value:,.0f}"
+
+
+def _fmt_delta(value: float, unit: str) -> str:
+    if value == 0:
+        return "0"
+    sign = "+" if value > 0 else "-"
+    return sign + _fmt(abs(value), unit)
+
+
+_STATUS_MARK = {"new": " [new]", "vanished": " [gone]"}
+
+
+# -- text ----------------------------------------------------------------------
+
+def render_diff_text(doc: dict, top: int = 10) -> str:
+    """Fixed-width rendering: per pair, per dimension, the ranked top-N
+    contributor rows plus the conservation verdict."""
+    out = []
+    out.append(f"== repro diff ({doc['kind']}): "
+               f"A = {doc['a']['source']}  vs  B = {doc['b']['source']}")
+    for pair in doc["pairs"]:
+        label = pair["a_label"]
+        if pair["b_label"] != pair["a_label"]:
+            label += f" vs {pair['b_label']}"
+        out.append(f"=== {label}")
+        out.append(f"  {pair['headline']}")
+        for dim in pair["dimensions"]:
+            moved = [c for c in dim["contributions"]
+                     if c["status"] != "unchanged"]
+            cons = dim["conservation"]
+            verdict = ("exact" if cons["exact"]
+                       else f"VIOLATED (residual {cons['residual']:g})")
+            out.append(
+                f"  -- {dim['name']} [{dim['unit']}]: "
+                f"{_fmt(dim['total_a'], dim['unit'])} -> "
+                f"{_fmt(dim['total_b'], dim['unit'])} "
+                f"(delta {_fmt_delta(dim['delta'], dim['unit'])}) — "
+                f"conservation {verdict}"
+            )
+            if not moved:
+                out.append("     (no per-key movement)")
+                continue
+            out.append(
+                "     " + "key".ljust(42) + "A".rjust(12) + "B".rjust(12)
+                + "delta".rjust(13) + "share".rjust(8)
+            )
+            for c in moved[:top]:
+                mark = _STATUS_MARK.get(c["status"], "")
+                out.append(
+                    "     " + (c["key"] + mark).ljust(42)
+                    + _fmt(c["a"], dim["unit"]).rjust(12)
+                    + _fmt(c["b"], dim["unit"]).rjust(12)
+                    + _fmt_delta(c["delta"], dim["unit"]).rjust(13)
+                    + f"{100 * c['share']:.1f}%".rjust(8)
+                )
+            if len(moved) > top:
+                out.append(f"     ... {len(moved) - top} more "
+                           f"(--top {len(moved)} to see all)")
+        out.append("")
+    for side, labels in (("A", doc["unmatched_a"]), ("B", doc["unmatched_b"])):
+        if labels:
+            out.append(f"  unmatched runs in {side}: {', '.join(labels)}")
+    status = "exact" if doc["conservation_ok"] else "VIOLATED"
+    out.append(f"delta conservation across all dimensions: {status}")
+    if doc["zero_delta"]:
+        out.append("runs are identical under every compared dimension")
+    return "\n".join(out).rstrip()
+
+
+# -- HTML ----------------------------------------------------------------------
+
+def _dim_panel(dim: dict, top: int) -> str:
+    moved = [c for c in dim["contributions"] if c["status"] != "unchanged"]
+    head = (
+        f"<h3>{escape(dim['name'])} "
+        f"<span class='sub'>[{escape(dim['unit'])}] "
+        f"{escape(_fmt(dim['total_a'], dim['unit']))} → "
+        f"{escape(_fmt(dim['total_b'], dim['unit']))} "
+        f"(Δ {escape(_fmt_delta(dim['delta'], dim['unit']))})</span></h3>"
+    )
+    if not moved:
+        return head + "<p class='sub'>no per-key movement</p>"
+    shown = moved[:top]
+    width, label_w, value_w = 720, 260, 110
+    bar_h, gap = 16, 6
+    plot_w = width - label_w - value_w
+    vmax = max(abs(c["delta"]) for c in shown) or 1.0
+    mid = label_w + plot_w / 2
+    height = len(shown) * (bar_h + gap) + 4
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="delta by key ({escape(dim["name"])})">',
+        f'<line x1="{mid:.1f}" y1="0" x2="{mid:.1f}" y2="{height - 2}" '
+        f'stroke="var(--axis)" stroke-width="1"/>',
+    ]
+    for i, c in enumerate(shown):
+        y = i * (bar_h + gap)
+        w = (plot_w / 2) * abs(c["delta"]) / vmax
+        w = max(w, 1.5)
+        x = mid if c["delta"] >= 0 else mid - w
+        fill = "var(--critical)" if c["delta"] > 0 else "var(--good)"
+        title = (f"{c['key']}: {_fmt(c['a'], dim['unit'])} -> "
+                 f"{_fmt(c['b'], dim['unit'])} "
+                 f"({_fmt_delta(c['delta'], dim['unit'])})")
+        parts.append(
+            f'<text x="{label_w - 10}" y="{y + bar_h - 4}" text-anchor="end" '
+            f'font-size="11" fill="var(--text-primary)">'
+            f"{escape(c['key'])}</text>"
+        )
+        parts.append(_bar(x, y, w, bar_h, fill, title))
+        parts.append(
+            f'<text x="{width - value_w + 6}" y="{y + bar_h - 4}" '
+            f'font-size="11" fill="var(--text-secondary)">'
+            f"{escape(_fmt_delta(c['delta'], dim['unit']))}</text>"
+        )
+    parts.append("</svg>")
+    table = [
+        "<details><summary>table view</summary><table>",
+        "<tr><th>key</th><th>A</th><th>B</th><th>Δ</th><th>share</th>"
+        "<th>status</th></tr>",
+    ]
+    for c in moved:
+        table.append(
+            f"<tr><td>{escape(c['key'])}</td>"
+            f"<td>{escape(_fmt(c['a'], dim['unit']))}</td>"
+            f"<td>{escape(_fmt(c['b'], dim['unit']))}</td>"
+            f"<td>{escape(_fmt_delta(c['delta'], dim['unit']))}</td>"
+            f"<td>{100 * c['share']:.1f}%</td>"
+            f"<td>{escape(c['status'])}</td></tr>"
+        )
+    table.append("</table></details>")
+    return head + "".join(parts) + "".join(table)
+
+
+def render_diff_html(doc: dict, top: int = 10,
+                     title: str = "Run diff report") -> str:
+    """The diff document as one dependency-free HTML page (flight-report
+    styling; A→B delta bars diverging around zero, table under each)."""
+    body = []
+    sub = (f"{escape(doc['kind'])} · A = {escape(doc['a']['source'])} · "
+           f"B = {escape(doc['b']['source'])}")
+    for pair in doc["pairs"]:
+        label = pair["a_label"]
+        if pair["b_label"] != pair["a_label"]:
+            label += f" vs {pair['b_label']}"
+        body.append('<div class="card">')
+        body.append(f"<h2>{escape(label)}</h2>")
+        body.append(f"<p class='sub'>{escape(pair['headline'])}</p>")
+        for dim in pair["dimensions"]:
+            body.append(_dim_panel(dim, top))
+        body.append("</div>")
+    for side, labels in (("A", doc["unmatched_a"]), ("B", doc["unmatched_b"])):
+        if labels:
+            body.append(
+                f"<p class='sub'>unmatched runs in {side}: "
+                f"{escape(', '.join(labels))}</p>"
+            )
+    ok = doc["conservation_ok"]
+    badge = (
+        '<span class="badge good"><span class="dot">✓</span>'
+        "every dimension's contributions sum exactly to its Δtotal</span>"
+        if ok else
+        '<span class="badge bad"><span class="dot">✗</span>'
+        "delta conservation VIOLATED — the attributor is broken</span>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        "<body class='viz-root'>"
+        f"<h1>{escape(title)}</h1>"
+        f"<p class='sub'>{sub} · {badge}</p>"
+        + "".join(body)
+        + "</body></html>\n"
+    )

@@ -1,0 +1,81 @@
+"""CI smoke check: ``repro diff`` output matches the golden documents.
+
+Usage (what the CI diff-smoke job runs)::
+
+    PYTHONPATH=src python -m repro.cli diff \
+        tests/golden/fixtures/fig2_summary_fast.json \
+        tests/golden/fixtures/fig2_summary_reference.json --json > /tmp/k.json
+    PYTHONPATH=src python -m tests.golden.check_diff /tmp/k.json kernels
+
+    PYTHONPATH=src python -m repro.cli diff \
+        tests/golden/fixtures/fig2_summary_fast.json \
+        tests/golden/fixtures/fig2_summary_precopy.json --json > /tmp/p.json
+    PYTHONPATH=src python -m tests.golden.check_diff /tmp/p.json precopy
+
+Both sides go through the golden 9-significant-digit rounding before
+comparison.  The ``kernels`` document additionally must report
+``zero_delta`` — the fast and reference kernels guarantee bit-identical
+simulation output, and this check pins that guarantee at the diff level.
+The ``precopy`` document must report a nonzero, exactly-conserving
+delta.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+
+from tests.golden.generate import FIXTURES, canonical_json
+
+GOLDEN_BY_NAME = {
+    "kernels": "fig2_diff_kernels.json",
+    "precopy": "fig2_diff_precopy.json",
+}
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2 or argv[1] not in GOLDEN_BY_NAME:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fixture_path = FIXTURES / GOLDEN_BY_NAME[argv[1]]
+    if not fixture_path.exists():
+        print(f"error: missing fixture {fixture_path}; generate with "
+              "'PYTHONPATH=src python -m tests.golden.generate'",
+              file=sys.stderr)
+        return 2
+    doc = json.loads(open(argv[0]).read())
+    if not doc.get("conservation_ok"):
+        print("error: diff document reports a conservation violation",
+              file=sys.stderr)
+        return 1
+    if argv[1] == "kernels" and not doc.get("zero_delta"):
+        print("error: fast-vs-reference kernel diff is not zero — the "
+              "kernels no longer produce bit-identical simulations",
+              file=sys.stderr)
+        return 1
+    if argv[1] == "precopy" and doc.get("zero_delta"):
+        print("error: our-approach-vs-precopy diff is unexpectedly zero",
+              file=sys.stderr)
+        return 1
+    actual = canonical_json(doc)
+    expected = fixture_path.read_text()
+    if actual == expected:
+        print(f"diff output matches the {argv[1]} golden fixture")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=str(fixture_path),
+        tofile=argv[0],
+    ))
+    print("error: diff output drifted from the golden fixture; if "
+          "intentional, regenerate with "
+          "'PYTHONPATH=src python -m tests.golden.generate'",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

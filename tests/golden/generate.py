@@ -150,12 +150,74 @@ def fig2_critical_path_golden() -> dict:
     return critical_path_summary(events, specs)
 
 
+def _fig2_analyze_summary(approach: str, kernel: str | None = None) -> dict:
+    """The flight-recorder summary of one causal fig2 run.
+
+    Everything in the summary is simulation-time data (bytes, sim
+    seconds, event counts), so it is deterministic across hosts — safe
+    fixture material, unlike profiler wall-clock.
+    """
+    import contextlib
+
+    from repro.experiments.fig2 import run_fig2
+    from repro.obs import Observability
+    from repro.obs.analyze import analyze_tracer
+    from repro.simkernel import kernel_scope
+
+    obs = Observability(trace=True, causal=True)
+    scope = kernel_scope(kernel) if kernel else contextlib.nullcontext()
+    with scope:
+        run_fig2(approach, seed=0, obs=obs)
+    return analyze_tracer(obs.tracer)
+
+
+def fig2_summary_fast_golden() -> dict:
+    return _fig2_analyze_summary("our-approach", kernel="fast")
+
+
+def fig2_summary_reference_golden() -> dict:
+    """Must be byte-identical to the fast-kernel summary — the two
+    kernels guarantee bit-identical simulation output, and this fixture
+    pair pins that guarantee at the artifact level."""
+    return _fig2_analyze_summary("our-approach", kernel="reference")
+
+
+def fig2_summary_precopy_golden() -> dict:
+    return _fig2_analyze_summary("precopy")
+
+
+def _diff_fixture(name_a: str, name_b: str) -> dict:
+    """Diff two already-generated summary fixtures (committed inputs ->
+    committed output, exactly what CI's diff-smoke job replays)."""
+    from repro.obs.diff import diff_files
+
+    return diff_files(FIXTURES / f"{name_a}.json", FIXTURES / f"{name_b}.json")
+
+
+def fig2_diff_kernels_golden() -> dict:
+    """fast vs reference kernel: the all-zero delta (differential
+    testing surfaced as a diff artifact)."""
+    return _diff_fixture("fig2_summary_fast", "fig2_summary_reference")
+
+
+def fig2_diff_precopy_golden() -> dict:
+    """our-approach vs precopy: a real, ranked, exactly-conserving
+    delta (the hybrid scheme's Fig 2 argument as a diff document)."""
+    return _diff_fixture("fig2_summary_fast", "fig2_summary_precopy")
+
+
+# Diff goldens consume the summary fixtures, so generation order matters.
 GOLDENS = {
     "fig2": fig2_golden,
     "fig2_critical_path": fig2_critical_path_golden,
     "fig3": fig3_golden,
     "fig4": fig4_golden,
     "fig5": fig5_golden,
+    "fig2_summary_fast": fig2_summary_fast_golden,
+    "fig2_summary_reference": fig2_summary_reference_golden,
+    "fig2_summary_precopy": fig2_summary_precopy_golden,
+    "fig2_diff_kernels": fig2_diff_kernels_golden,
+    "fig2_diff_precopy": fig2_diff_precopy_golden,
 }
 
 

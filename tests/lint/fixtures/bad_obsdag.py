@@ -1,0 +1,10 @@
+# simlint: module=repro.obs.analyze.fixture
+"""An analysis producer importing the diff engine: S502 fires."""
+
+from repro.obs.diff import diff_artifacts
+from repro.obs.diff.delta import dimension_delta
+
+
+def self_comparing_summary(summary):
+    art = {"kind": "analyze", "source": "self", "runs": []}
+    return diff_artifacts(art, art), dimension_delta("d", "B", {}, {})

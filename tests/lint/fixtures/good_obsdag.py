@@ -1,0 +1,11 @@
+# simlint: module=repro.obs.diff.fixture
+"""The diff engine consuming its producers — downward in the obs
+sub-DAG, S502 stays quiet."""
+
+from repro.obs.analyze import analyze_events
+from repro.obs.causal import critical_path_summary
+from repro.obs.prof.core import Profiler
+
+
+def normalize(events):
+    return analyze_events(events), critical_path_summary(events, []), Profiler

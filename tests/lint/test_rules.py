@@ -29,6 +29,7 @@ BAD_CASES = [
     ("bad_causetags.py", "C", {"C301", "C302", "C303"}),
     ("bad_kernel.py", "K", {"K401", "K402"}),
     ("bad_structure.py", "S", {"S501"}),
+    ("bad_obsdag.py", "S", {"S502"}),
 ]
 
 
@@ -48,6 +49,7 @@ def test_bad_fixture_trips_exactly_its_family(name, family, expected_ids):
     "good_causetags.py",
     "good_kernel.py",
     "good_structure.py",
+    "good_obsdag.py",
 ])
 def test_good_fixture_is_clean(name):
     result = lint_fixture(name)

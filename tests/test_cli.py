@@ -82,3 +82,114 @@ def test_profile_flag_on_fig2(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "host wall attribution" in err
     assert "Host self-profile" in report.read_text()
+
+
+# -- repro diff + the friendly no-section errors -------------------------------
+
+@pytest.fixture(scope="module")
+def fig2_summaries(tmp_path_factory):
+    """Two summary artifacts (our-approach and precopy) plus one raw trace."""
+    root = tmp_path_factory.mktemp("diff-cli")
+    paths = {}
+    for approach in ("our-approach", "precopy"):
+        trace = root / f"{approach}.trace.json"
+        assert main(["fig2", "--approach", approach, "--causal",
+                     "--trace", str(trace)]) == 0
+        summary = root / f"{approach}.summary.json"
+        assert main(["analyze", str(trace), "--json", str(summary)]) == 0
+        paths[approach] = summary
+    paths["trace"] = root / "our-approach.trace.json"
+    return paths
+
+
+def test_diff_self_is_zero(fig2_summaries, capsys):
+    path = str(fig2_summaries["our-approach"])
+    assert main(["diff", path, path]) == 0
+    out = capsys.readouterr().out
+    assert "identical under every compared dimension" in out
+    assert "delta conservation across all dimensions: exact" in out
+
+
+def test_diff_two_approaches_ranked_table(fig2_summaries, capsys):
+    assert main(["diff", str(fig2_summaries["our-approach"]),
+                 str(fig2_summaries["precopy"]), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "bytes.by_cause" in out
+    assert "sim.wall.migrations" in out
+    assert "conservation exact" in out
+    assert "[new]" in out and "[gone]" in out  # prefetch vs repo.fetch
+
+
+def test_diff_json_deterministic_and_html(fig2_summaries, tmp_path, capsys):
+    import json
+
+    a = str(fig2_summaries["our-approach"])
+    b = str(fig2_summaries["precopy"])
+    assert main(["diff", a, b, "--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["diff", a, b, "--json"]) == 0
+    assert capsys.readouterr().out == first  # byte-identical
+    doc = json.loads(first)
+    assert doc["schema"] == "repro.diff/1"
+    assert doc["conservation_ok"] and not doc["zero_delta"]
+    report = tmp_path / "delta.html"
+    assert main(["diff", a, b, "--report", str(report)]) == 0
+    assert report.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_diff_accepts_raw_trace(fig2_summaries, capsys):
+    # A raw --trace file is analyzed on the fly; against its own summary
+    # the delta must be exactly zero.
+    assert main(["diff", str(fig2_summaries["trace"]),
+                 str(fig2_summaries["our-approach"])]) == 0
+    out = capsys.readouterr().out
+    assert "identical under every compared dimension" in out
+
+
+def test_diff_kind_mismatch_exits_2(fig2_summaries, tmp_path, capsys):
+    prof = tmp_path / "prof.json"
+    assert main(["profile", "--json", str(prof)]) == 0
+    capsys.readouterr()
+    rc = main(["diff", str(fig2_summaries["our-approach"]), str(prof)])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "cannot diff analyze artifact" in err
+
+
+def test_diff_unknown_schema_exits_2(tmp_path, capsys):
+    weird = tmp_path / "weird.json"
+    weird.write_text('{"schema": "repro.future/9"}')
+    rc = main(["diff", str(weird), str(weird)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "unsupported schema" in captured.err
+    assert captured.out == ""  # refused before any partial output
+
+
+def test_analyze_empty_trace_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"traceEvents": []}')
+    rc = main(["analyze", str(empty)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "--trace" in captured.err and "--causal" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+    assert captured.out == ""
+
+
+def test_analyze_unreadable_trace_no_traceback(tmp_path, capsys):
+    rc = main(["analyze", str(tmp_path / "absent.json")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: cannot read")
+
+
+def test_critical_path_without_causal_names_flag(tmp_path, capsys):
+    trace = tmp_path / "plain.json"
+    assert main(["fig2", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    rc = main(["critical-path", str(trace)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "--causal" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
