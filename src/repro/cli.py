@@ -14,6 +14,7 @@ Python::
     python -m repro.cli analyze trace.json [--json out.json] [--html out.html]
     python -m repro.cli profile [--speedscope prof.json] [--check]
     python -m repro.cli diff runA.json runB.json [--json] [--top 5]
+    python -m repro.cli series fig2-series.json [--json] [--csv]
 """
 
 from __future__ import annotations
@@ -66,6 +67,16 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         help="write the host profile as a speedscope flamegraph "
              "(implies --profile)",
     )
+    p.add_argument(
+        "--series", action="store_true",
+        help="record time-resolved telemetry (repro.obs.series); never "
+             "changes simulation output",
+    )
+    p.add_argument(
+        "--series-out", metavar="OUT.json", default=None,
+        help="write the repro.series/1 time-series document "
+             "(implies --series)",
+    )
 
 
 def _add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -98,8 +109,10 @@ def _make_obs(args):
     causal = getattr(args, "causal", False)
     profile = (getattr(args, "profile", False)
                or getattr(args, "profile_out", None) is not None)
+    series = (getattr(args, "series", False)
+              or getattr(args, "series_out", None) is not None)
     if (trace is None and metrics_out is None and report is None
-            and not causal and not profile):
+            and not causal and not profile and not series):
         return None
     from repro.obs import Observability
 
@@ -109,14 +122,17 @@ def _make_obs(args):
         detail=args.trace_detail,
         causal=causal,
         profile=profile,
+        series=series,
     )
 
 
 def _write_obs(obs, args) -> None:
     if obs is None:
         return
-    obs.write(trace_path=args.trace, metrics_path=args.metrics_out)
-    written = [p for p in (args.trace, args.metrics_out) if p]
+    series_out = getattr(args, "series_out", None)
+    obs.write(trace_path=args.trace, metrics_path=args.metrics_out,
+              series_path=series_out)
+    written = [p for p in (args.trace, args.metrics_out, series_out) if p]
     prof_summary = None
     if obs.profiler.enabled:
         from repro.obs.prof import render_profile_text, write_speedscope
@@ -128,6 +144,11 @@ def _write_obs(obs, args) -> None:
             write_speedscope(prof_summary, profile_out,
                              name=f"repro {args.command}")
             written.append(profile_out)
+    series_summary = obs.series.summary() if obs.series.enabled else None
+    if series_summary is not None and series_out is None:
+        from repro.obs.series import render_sparklines
+
+        print(render_sparklines(series_summary), file=sys.stderr)
     report = getattr(args, "report", None)
     if report is not None:
         import pathlib
@@ -137,7 +158,8 @@ def _write_obs(obs, args) -> None:
         summary = analyze_tracer(obs.tracer)
         path = pathlib.Path(report)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(render_html(summary, profile=prof_summary))
+        path.write_text(render_html(summary, profile=prof_summary,
+                                    series=series_summary))
         written.append(report)
         if not summary["conservation_ok"]:
             print("warning: byte-attribution conservation check failed",
@@ -291,6 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
                            "(negative counts from the end)")
     diff.add_argument("--entry-b", type=int, default=None,
                       help="entry index when B is a BENCH trajectory file")
+
+    series = sub.add_parser(
+        "series",
+        help="render time-resolved telemetry (sparklines, JSON, CSV) from "
+             "a repro.series/1 document or derive it from a trace's "
+             "counter events",
+    )
+    series.add_argument("input", metavar="SERIES-or-TRACE.json",
+                        help="document written by --series-out, or a trace "
+                             "written by --trace (.json or .jsonl)")
+    series.add_argument("--json", metavar="OUT.json", nargs="?", const="-",
+                        default=None,
+                        help="emit the repro.series/1 document instead of "
+                             "sparklines (to stdout, or to OUT.json)")
+    series.add_argument("--csv", metavar="OUT.csv", nargs="?", const="-",
+                        default=None,
+                        help="emit long-form CSV (run,signal,kind,unit,t,"
+                             "value) to stdout or OUT.csv")
+    series.add_argument("--signal", metavar="GLOB", action="append",
+                        default=[], dest="signals",
+                        help="only signals matching this glob "
+                             "(repeatable, e.g. --signal 'net.*')")
+    series.add_argument("--width", type=int, default=60,
+                        help="sparkline width in columns (default 60)")
 
     lint = sub.add_parser(
         "lint",
@@ -509,6 +555,43 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_series(args) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.series import (
+        SeriesLoadError,
+        load_series_file,
+        render_sparklines,
+        series_csv,
+    )
+
+    try:
+        doc = load_series_file(args.input)
+    except SeriesLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    signals = args.signals or None
+    if args.json == "-":
+        print(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        return 0
+    if args.csv == "-":
+        sys.stdout.write(series_csv(doc, signals=signals))
+        return 0
+    print(render_sparklines(doc, width=args.width, signals=signals))
+    for flag, text in (
+        (args.json, json.dumps(doc, sort_keys=True,
+                               separators=(",", ":")) + "\n"),
+        (args.csv, series_csv(doc, signals=signals)),
+    ):
+        if flag is not None:
+            path = pathlib.Path(flag)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {flag}", file=sys.stderr)
+    return 0
+
+
 def _compare_diff_text(obs, args) -> str:
     """Attribute each approach's delta against our-approach from the
     compare run's own trace (``repro compare --diff``)."""
@@ -595,6 +678,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_critical_path(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "series":
+        return _cmd_series(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

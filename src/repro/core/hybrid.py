@@ -177,6 +177,10 @@ class HybridManager(MigrationManager):
                        tid=f"push:{self.vm.name}",
                        args={"remaining_chunks": int(self.remaining.sum()),
                              "threshold": self.config.threshold})
+        sr = self.env.series
+        if sr.enabled:
+            sr.gauge(f"push.remaining:{self.vm.name}", self.env.now,
+                     int(self.remaining.sum()), unit="chunks")
         # MIGRATION_NOTIFICATION to the destination.
         yield self.fabric.message(self.host, peer.host, tag="control",
                                   cause="control")
@@ -265,6 +269,12 @@ class HybridManager(MigrationManager):
             peer.vdisk.disk.touch(batch)
             peer._fate[batch] = _FATE_PUSHED
             self.stats["pushed_chunks"] += int(batch.size)
+            sr = self.env.series
+            if sr.enabled:
+                sr.gauge(f"push.remaining:{self.vm.name}", self.env.now,
+                         int(self.remaining.sum()), unit="chunks")
+                sr.inc(f"progress.pushed:{self.vm.name}", self.env.now,
+                       int(batch.size), unit="chunks")
             tr = self.env.tracer
             if tr.enabled:
                 tr.complete("push.batch", t0, self.env.now, cat="storage",
@@ -301,6 +311,13 @@ class HybridManager(MigrationManager):
                                tid=f"push:{self.vm.name}",
                                args={"chunks": n_hot})
                 self.env.metrics.counter("push.hot_skipped").inc(n_hot)
+            sr = self.env.series
+            if sr.enabled:
+                sr.gauge(f"push.remaining:{self.vm.name}", self.env.now,
+                         int(self.remaining.sum()), unit="chunks")
+                if n_hot:
+                    sr.inc(f"push.hot_excluded:{self.vm.name}", self.env.now,
+                           n_hot, unit="chunks")
             self._notify_push()
         if self.is_destination:
             self._cancel_pulls(span)
@@ -320,6 +337,22 @@ class HybridManager(MigrationManager):
         if tr.enabled:
             tr.instant("push.stop", cat="storage", tid=f"push:{self.vm.name}",
                        args={"remaining_chunks": int(self.remaining.sum())})
+        sr = self.env.series
+        if sr.enabled:
+            now = self.env.now
+            sr.gauge(f"push.remaining:{self.vm.name}", now,
+                     int(self.remaining.sum()), unit="chunks")
+            # Write-count histogram over the still-remaining set: the
+            # distribution Threshold reasons about, at the sync point.
+            wc = np.minimum(
+                self.chunks.write_count[self.remaining], _WC_CAP
+            )
+            counts = np.bincount(wc, minlength=_WC_CAP + 1)
+            sr.distribution(
+                f"dist.write_count:{self.vm.name}", now,
+                [[w, "remaining", int(n)]
+                 for w, n in enumerate(counts) if n],
+            )
         self._push_stop = True
         self._notify_push()
         if self._push_proc is not None and self._push_proc.is_alive:
@@ -335,6 +368,10 @@ class HybridManager(MigrationManager):
             tr.instant("transfer_io_control", cat="storage",
                        tid=f"push:{self.vm.name}",
                        args={"remaining_chunks": int(remaining_ids.size)})
+        sr = self.env.series
+        if sr.enabled:
+            sr.gauge(f"push.remaining:{self.vm.name}", self.env.now,
+                     int(remaining_ids.size), unit="chunks")
         # The chunk list + write counts travel as a control message
         # (8 bytes of id + 8 of count per entry).
         ok = yield from self._message_attempts(
@@ -423,6 +460,10 @@ class HybridManager(MigrationManager):
         mx = self.env.metrics
         if mx.enabled:
             mx.gauge("prefetch.queue_depth").set(depth)
+        sr = self.env.series
+        if sr.enabled:
+            sr.gauge(f"pull.pending:{self.vm.name}", self.env.now, depth,
+                     unit="chunks")
 
     def _start_pull(self) -> None:
         self._pull_proc = self.env.process(
@@ -483,6 +524,10 @@ class HybridManager(MigrationManager):
                 # on-demand reads surface the failure loudly.
                 return
             self.stats["pulled_chunks"] += int(batch.size)
+            sr = self.env.series
+            if sr.enabled:
+                sr.inc(f"progress.prefetched:{self.vm.name}", self.env.now,
+                       int(batch.size), unit="chunks")
             tr = self.env.tracer
             if tr.enabled:
                 tr.complete("prefetch.batch", t0, self.env.now, cat="storage",
@@ -623,6 +668,10 @@ class HybridManager(MigrationManager):
                         "stalled: source unreachable after control transfer"
                     )
                 self.stats["ondemand_chunks"] += int(needed.size)
+                sr = self.env.series
+                if sr.enabled:
+                    sr.inc(f"progress.ondemand:{self.vm.name}", self.env.now,
+                           int(needed.size), unit="chunks")
                 tr = self.env.tracer
                 if tr.enabled:
                     # Overlapping guest reads overlap their pulls: async lane.
@@ -676,6 +725,12 @@ class HybridManager(MigrationManager):
                              "threshold": self.config.threshold,
                              "wc_cap": _WC_CAP,
                              "cells": self._chunk_fate_cells(src)})
+        sr = self.env.series
+        if sr.enabled:
+            sr.gauge(f"pull.pending:{self.vm.name}", self.env.now, 0,
+                     unit="chunks")
+            sr.distribution(f"dist.chunk_fate:{self.vm.name}", self.env.now,
+                            self._chunk_fate_cells(src))
         # Best effort: if the source is unreachable the data is all here
         # anyway; release locally so the migration record completes.
         yield from self._message_attempts(

@@ -338,6 +338,12 @@ class MigrationManager:
         self.chunks.version[span] = versions
         self.vdisk.disk.touch(span)
         self.vm.note_write(nbytes)
+        sr = self.env.series
+        if sr.enabled:
+            # One probe covers every engine: the guest write rate the
+            # dirty-rate overlay in the flight report compares against.
+            sr.inc(f"writes.chunks:{self.vm.name}", self.env.now,
+                   int(span.size), unit="chunks")
         yield from self._after_write(span, nbytes)
 
     def _partial_chunks(

@@ -85,6 +85,10 @@ class MirrorManager(MigrationManager):
             peer.receive_chunks(batch, versions)
             peer.vdisk.disk.touch(batch)
             self.stats["bulk_chunks"] += int(batch.size)
+            sr = self.env.series
+            if sr.enabled:
+                sr.inc(f"progress.bulk:{self.vm.name}", self.env.now,
+                       int(batch.size), unit="chunks")
             tr = self.env.tracer
             if tr.enabled:
                 tr.complete("mirror.bulk.batch", t0, self.env.now,
@@ -99,6 +103,10 @@ class MirrorManager(MigrationManager):
         if not (self.is_source and self._mirroring):
             return
         self._outstanding += 1
+        sr = self.env.series
+        if sr.enabled:
+            sr.gauge(f"mirror.outstanding:{self.vm.name}", self.env.now,
+                     self._outstanding, unit="writes")
         peer = self.peer
         try:
             versions = self.chunks.version[span].copy()
@@ -128,12 +136,18 @@ class MirrorManager(MigrationManager):
                 peer.receive_chunks(span, versions)
                 peer.vdisk.disk.touch(span)
                 self.stats["mirrored_writes"] += 1
+                if sr.enabled:
+                    sr.inc(f"progress.mirrored:{self.vm.name}", self.env.now,
+                           1, unit="writes")
                 mx = self.env.metrics
                 if mx.enabled:
                     mx.counter("mirror.writes").inc()
                     mx.counter("mirror.write.bytes").inc(float(nbytes))
         finally:
             self._outstanding -= 1
+            if sr.enabled:
+                sr.gauge(f"mirror.outstanding:{self.vm.name}", self.env.now,
+                         self._outstanding, unit="writes")
             if self._outstanding == 0 and self._drained is not None:
                 if not self._drained.triggered:
                     self._drained.succeed()

@@ -120,6 +120,16 @@ class PrecopyMemory:
             if dur > 0:
                 rate = remaining / dur
             remaining = min(vm.dirty_rate * dur, vm.working_set)
+            sr = env.series
+            if sr.enabled:
+                # Per-round residual: what the next round (or the
+                # downtime flush) still has to move.
+                sr.gauge(f"mem.residual:{vm.name}", env.now, remaining,
+                         unit="B")
+                sr.gauge(f"mem.dirty_rate:{vm.name}", env.now,
+                         vm.dirty_rate, unit="B/s")
+                sr.gauge(f"mem.rounds:{vm.name}", env.now, stats.rounds,
+                         unit="rounds")
         self._after_rounds(vm)
         return remaining
 
@@ -258,3 +268,8 @@ class PostcopyMemory:
                             args={"bytes": nbytes})
             stats.round_durations.append(env.now - t0)
             stats.bytes_sent += nbytes
+            sr = env.series
+            if sr.enabled:
+                sr.gauge(f"mem.residual:{vm.name}", env.now, 0.0, unit="B")
+                sr.gauge(f"mem.rounds:{vm.name}", env.now, stats.rounds,
+                         unit="rounds")

@@ -38,8 +38,14 @@ def _default_obs_layers() -> dict[str, int]:
     # on purpose: analyze and causal are mutually recursive by design
     # (causal borrows the analyzer's lane maps, the analyzer embeds
     # critical paths).
+    # The series recorder is listed explicitly even though the
+    # ``repro.obs`` prefix already ranks it: its loaders are a
+    # sanctioned *input* of the diff engine (series docs diff like any
+    # other artifact), so the asymmetry — diff may import series,
+    # series may never import diff — deserves a named row.
     return {
         "repro.obs": 0,
+        "repro.obs.series": 0,
         "repro.obs.diff": 1,
     }
 
@@ -67,6 +73,7 @@ class LintConfig:
         "repro.hypervisor",
         "repro.workloads",
         "repro.obs",
+        "repro.obs.series",
     )
 
     #: Sanctioned host-time islands inside the determinism scope: modules
@@ -87,6 +94,7 @@ class LintConfig:
         "repro.obs.causal.critical",
         "repro.obs.causal.whatif",
         "repro.obs.diff.delta",
+        "repro.obs.series.conserve",
     )
 
     #: K rules apply to generator functions in modules under these

@@ -235,6 +235,9 @@ class Fabric:
             # Fully partitioned link: the message is lost in transit.
             return self._black_hole(src, dst, tag, cause)
         self.meter.add(tag, nbytes, cause=cause)
+        sr = self.env.series
+        if sr.enabled:
+            sr.credit_net(tag, cause, self.env.now, nbytes)
         tr = self.env.tracer
         if tr.enabled and tr.verbose:
             tr.instant(f"message:{tag}", cat="net", tid="net:control",
@@ -340,12 +343,17 @@ class Fabric:
             prof.count("fabric.advances")
             prof.count("fabric.flows_advanced", len(self._flows))
         try:
+            sr = self.env.series
             finished: list[NetFlow] = []
             for fl in self._flows:
                 moved = min(fl.rate * dt, fl.remaining)
                 fl.remaining -= moved
                 fl._accounted += moved
                 self.meter.add(fl.tag, moved, cause=fl.cause)
+                if sr.enabled:
+                    # Shadow the meter credit value-for-value so the
+                    # net.<tag> curve stays bit-identical to by_tag().
+                    sr.credit_net(fl.tag, fl.cause, now, moved)
                 if fl.remaining <= _DONE_EPS:
                     fl.remaining = 0.0
                     finished.append(fl)
@@ -357,8 +365,10 @@ class Fabric:
                 self._flows.remove(fl)
                 # Credit any residual rounding so accounting is exact.
                 if fl._accounted < fl.nbytes:
-                    self.meter.add(fl.tag, fl.nbytes - fl._accounted,
-                                   cause=fl.cause)
+                    residual = fl.nbytes - fl._accounted
+                    self.meter.add(fl.tag, residual, cause=fl.cause)
+                    if sr.enabled:
+                        sr.credit_net(fl.tag, fl.cause, now, residual)
                     fl._accounted = fl.nbytes
                 if tr.enabled:
                     tr.async_span(
@@ -464,6 +474,9 @@ class Fabric:
                     total_w = g_weights[gi]
                     for fl in group:
                         fl.rate = rate * (fl.weight / total_w)
+            sr = self.env.series
+            if sr.enabled:
+                self._sample_allocation(sr)
             self._dirty = False
             self._topo_version_seen = topo.version
         finally:
@@ -474,6 +487,33 @@ class Fabric:
                 prof.count("maxmin.solves", stats.get("solves", 0))
                 prof.count("maxmin.memo_hits", stats.get("memo_hits", 0))
                 prof.exit()
+
+    def _sample_allocation(self, sr) -> None:
+        """Observe-only series probe on the just-solved max-min rates.
+
+        Samples the allocated rate per traffic tag and the utilization of
+        every NIC touched by a live flow.  Reads the solver's outputs and
+        never writes back — the probe rides the reshares that already
+        happen and schedules nothing.
+        """
+        now = self.env.now
+        by_tag: dict[str, float] = {}
+        egress: dict[Host, float] = {}
+        ingress: dict[Host, float] = {}
+        for fl in self._flows:
+            by_tag[fl.tag] = by_tag.get(fl.tag, 0.0) + fl.rate
+            egress[fl.src] = egress.get(fl.src, 0.0) + fl.rate
+            ingress[fl.dst] = ingress.get(fl.dst, 0.0) + fl.rate
+        for tag in sorted(by_tag):
+            sr.gauge(f"net.rate.{tag}", now, by_tag[tag], unit="B/s")
+        for host in sorted(egress, key=lambda h: h.name):
+            if host.nic_out > 0:
+                sr.gauge(f"link.{host.name}.out", now,
+                         egress[host] / host.nic_out, unit="util")
+        for host in sorted(ingress, key=lambda h: h.name):
+            if host.nic_in > 0:
+                sr.gauge(f"link.{host.name}.in", now,
+                         ingress[host] / host.nic_in, unit="util")
 
     def _reschedule(self) -> None:
         if not self._flows:

@@ -33,6 +33,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_events_jsonl,
     write_metrics_json,
+    write_series_json,
     write_trace,
 )
 from repro.obs.prof import NULL_PROFILER, NullProfiler, Profiler
@@ -44,6 +45,11 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.series.core import (
+    NULL_SERIES,
+    NullSeriesRecorder,
+    SeriesRecorder,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -53,17 +59,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_PROFILER",
+    "NULL_SERIES",
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullProfiler",
+    "NullSeriesRecorder",
     "NullTracer",
     "Observability",
     "Profiler",
+    "SeriesRecorder",
     "Tracer",
     "chrome_trace",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_metrics_json",
+    "write_series_json",
     "write_trace",
 ]
 
@@ -88,6 +98,8 @@ class _RunScope:
         if self._obs.metrics.enabled:
             self._obs.runs[self._label] = self._obs.metrics.snapshot()
             self._obs.metrics.reset()
+        if self._obs.series.enabled:
+            self._obs.series.finish_run(self._label)
         return False
 
 
@@ -113,11 +125,18 @@ class Observability:
         :class:`Profiler` or a pre-configured instance (e.g.
         ``Profiler(alloc=True)``).  Profiling never changes simulation
         output — only host-side measurement.
+    series:
+        Record time-resolved telemetry (``repro.obs.series``): drain
+        curves, per-tag bandwidth, dirty rate, distribution snapshots.
+        Pass ``True`` for a fresh :class:`SeriesRecorder` or a
+        pre-configured instance (e.g. ``SeriesRecorder(max_bins=2048)``).
+        Observe-only — simulation output is byte-identical on vs off.
     """
 
     def __init__(self, trace: bool = True, metrics: bool = True,
                  detail: str = "normal", causal: bool = False,
-                 profile: "bool | Profiler" = False):
+                 profile: "bool | Profiler" = False,
+                 series: "bool | SeriesRecorder" = False):
         if causal:
             trace = True
         self.tracer = Tracer(detail=detail) if trace else NULL_TRACER
@@ -130,6 +149,10 @@ class Observability:
             self.profiler: Profiler | NullProfiler = profile
         else:
             self.profiler = Profiler() if profile else NULL_PROFILER
+        if isinstance(series, SeriesRecorder):
+            self.series: SeriesRecorder | NullSeriesRecorder = series
+        else:
+            self.series = SeriesRecorder() if series else NULL_SERIES
         #: Finished per-run metric snapshots, keyed by run label.
         self.runs: dict[str, dict] = {}
 
@@ -140,6 +163,7 @@ class Observability:
         env.tracer = self.tracer
         env.metrics = self.metrics
         env.profiler = self.profiler
+        env.series = self.series
         self.tracer.bind(env)
         return self
 
@@ -173,6 +197,8 @@ class Observability:
                 "traffic.snapshot", cat="net", tid="net:accounting",
                 args={"pairs": [[t, c, v] for (t, c), v in pairs]},
             )
+        if self.series.enabled:
+            self.series.check_conservation(meter)
         if not self.metrics.enabled:
             return
         for tag, nbytes in sorted(meter.by_tag().items()):
@@ -193,12 +219,15 @@ class Observability:
 
     def write(self,
               trace_path: Optional[Union[str, pathlib.Path]] = None,
-              metrics_path: Optional[Union[str, pathlib.Path]] = None) -> None:
+              metrics_path: Optional[Union[str, pathlib.Path]] = None,
+              series_path: Optional[Union[str, pathlib.Path]] = None) -> None:
         """Write the requested exports (trace format by file suffix)."""
         if trace_path is not None and self.tracer.enabled:
             write_trace(self.tracer, trace_path)
         if metrics_path is not None:
             write_metrics_json(self.metrics_dump(), metrics_path)
+        if series_path is not None and self.series.enabled:
+            write_series_json(self.series.summary(), series_path)
 
     def __repr__(self) -> str:
         n = len(self.tracer.events) if self.tracer.enabled else 0

@@ -120,12 +120,24 @@ def analyze_events(events: list) -> dict:
                 # The last snapshot wins (one per run scope in practice).
                 pairs = ev.get("args", {}).get("pairs")
         phases = phase_report(lane, tid_names)
+        heatmaps = chunk_fate_maps(lane)
+        # The run's write-count distribution as a plain cell array —
+        # the same [[writes, column, count]] format the series
+        # recorder's distribution snapshots use, so the two artifacts
+        # cross-check without reshaping.
+        dist: dict = {}
+        for hm in heatmaps:
+            for wc, fate, n in hm["cells"]:
+                dist[(wc, fate)] = dist.get((wc, fate), 0) + n
         runs.append({
             "label": pid_names.get(pid, f"run-{pid}"),
             "events": len(lane),
             "attribution": run_attribution(lane, pairs),
             "phases": phases,
-            "heatmaps": chunk_fate_maps(lane),
+            "heatmaps": heatmaps,
+            "write_count_distribution": [
+                [wc, fate, n] for (wc, fate), n in sorted(dist.items())
+            ],
             # Empty for plain traced runs; populated when the trace was
             # recorded with causal wait edges (Observability(causal=True)).
             "critical_path": critical_paths(

@@ -713,12 +713,318 @@ def _profile_panel(profile: dict) -> str:
     )
 
 
+# -- time-resolved telemetry (repro.obs.series) --------------------------------
+
+#: Traffic tag → categorical slot; tags reuse the color of the cause that
+#: dominates them so the bandwidth chart reads against the cause chart.
+_TAG_SLOTS = {
+    "storage-push": 1,
+    "storage-pull": 2,
+    "storage-mirror": 3,
+    "repo": 4,
+    "memory": 5,
+    "workload": 6,
+    "control": 7,
+}
+
+#: Gauge-name prefixes that make up the remaining-set drain curve.
+_DRAIN_PREFIXES = (
+    "push.remaining:", "pull.pending:", "precopy.dirty:",
+    "mirror.outstanding:",
+)
+
+_DRAIN_SLOTS = {"push.remaining": 1, "pull.pending": 3,
+                "precopy.dirty": 5, "mirror.outstanding": 2}
+
+
+def _tag_color(tag: str) -> str:
+    slot = _TAG_SLOTS.get(tag)
+    return f"var(--s{slot})" if slot else "var(--text-muted)"
+
+
+def _fmt_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.3g}"
+
+
+def _step_points(points: list) -> list:
+    """Step-after interpolation: hold each sample until the next one."""
+    out = []
+    for i, (t, v) in enumerate(points):
+        if i:
+            out.append((t, points[i - 1][1]))
+        out.append((t, v))
+    return out
+
+
+def _line_chart(series: list, unit: str, aria: str) -> str:
+    """Multi-line step chart; ``series`` is ``[(name, color, points)]``."""
+    series = [(n, c, p) for n, c, p in series if p]
+    if not series:
+        return ""
+    t0 = min(p[0][0] for _n, _c, p in series)
+    t1 = max(p[-1][0] for _n, _c, p in series)
+    vmax = max(max(v for _t, v in p) for _n, _c, p in series) or 1.0
+    span = max(t1 - t0, 1e-9)
+    width, height, left, bottom = 720, 150, 56, 18
+    plot_w, plot_h = width - left - 10, height - bottom - 8
+
+    def sx(t: float) -> float:
+        return left + plot_w * (t - t0) / span
+
+    def sy(v: float) -> float:
+        return 8 + plot_h * (1.0 - v / vmax)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{escape(aria)}">'
+    ]
+    for q in range(5):
+        gx = left + plot_w * q / 4
+        tq = t0 + span * q / 4
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="8" x2="{gx:.1f}" '
+            f'y2="{height - bottom}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{gx:.1f}" y="{height - 4}" text-anchor="middle" '
+            f'font-size="11" fill="var(--text-muted)">{tq:.1f}s</text>'
+        )
+    top_label = _fmt_value(vmax) + (f" {unit}" if unit else "")
+    parts.append(
+        f'<text x="{left - 6}" y="16" text-anchor="end" font-size="11" '
+        f'fill="var(--text-muted)">{escape(top_label)}</text>'
+        f'<text x="{left - 6}" y="{height - bottom}" text-anchor="end" '
+        f'font-size="11" fill="var(--text-muted)">0</text>'
+    )
+    for name, color, pts in series:
+        coords = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in _step_points(pts)
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.6"><title>{escape(name)}</title></polyline>'
+        )
+    parts.append("</svg>")
+    legend = ['<div class="legend">']
+    for name, color, _pts in series:
+        legend.append(
+            f'<span><span class="sw" style="background:{color}"></span>'
+            f"{escape(name)}</span>"
+        )
+    legend.append("</div>")
+    return "".join(legend) + "".join(parts)
+
+
+def _rate_on_grid(rate_points: list, t: float) -> float:
+    """The rate in effect at time ``t`` (0 outside the recorded range)."""
+    for pt, pv in rate_points:
+        if pt >= t:
+            return pv
+    return 0.0
+
+
+def _stacked_bandwidth(run: dict) -> str:
+    """Per-tag bandwidth as a stacked area chart (rates from the exact
+    cumulative ``net.*`` curves)."""
+    from repro.obs.series.agg import rates_from_cumulative
+
+    tags = []
+    for name, sig in run["signals"].items():
+        if name.startswith("net.") and sig["kind"] == "rate" \
+                and not name.startswith("net.rate.") and sig["points"]:
+            tag = name[len("net."):]
+            tags.append((tag, rates_from_cumulative(sig["points"],
+                                                    sig["bin_width"])))
+    tags = [(tag, pts) for tag, pts in tags if pts]
+    if not tags:
+        return ""
+    tags.sort(key=lambda tp: (_TAG_SLOTS.get(tp[0], 99), tp[0]))
+    t0 = min(p[0][0] for _t, p in tags)
+    t1 = max(p[-1][0] for _t, p in tags)
+    span = max(t1 - t0, 1e-9)
+    n_grid = 120
+    grid = [t0 + span * k / n_grid for k in range(n_grid + 1)]
+    layers = [[_rate_on_grid(pts, t) for t in grid] for _tag, pts in tags]
+    stacked = []
+    running = [0.0] * len(grid)
+    for layer in layers:
+        base = list(running)
+        running = [b + v for b, v in zip(running, layer)]
+        stacked.append((base, list(running)))
+    vmax = max(running) or 1.0
+    width, height, left, bottom = 720, 170, 56, 18
+    plot_w, plot_h = width - left - 10, height - bottom - 8
+
+    def sx(t: float) -> float:
+        return left + plot_w * (t - t0) / span
+
+    def sy(v: float) -> float:
+        return 8 + plot_h * (1.0 - v / vmax)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="bandwidth by tag">'
+    ]
+    for q in range(5):
+        gx = left + plot_w * q / 4
+        tq = t0 + span * q / 4
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="8" x2="{gx:.1f}" '
+            f'y2="{height - bottom}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{gx:.1f}" y="{height - 4}" text-anchor="middle" '
+            f'font-size="11" fill="var(--text-muted)">{tq:.1f}s</text>'
+        )
+    parts.append(
+        f'<text x="{left - 6}" y="16" text-anchor="end" font-size="11" '
+        f'fill="var(--text-muted)">{escape(_fmt_bytes(vmax))}/s</text>'
+        f'<text x="{left - 6}" y="{height - bottom}" text-anchor="end" '
+        f'font-size="11" fill="var(--text-muted)">0</text>'
+    )
+    for (tag, _pts), (base, top) in zip(tags, stacked):
+        fwd = " ".join(f"{sx(t):.1f},{sy(v):.1f}"
+                       for t, v in zip(grid, top))
+        back = " ".join(f"{sx(t):.1f},{sy(v):.1f}"
+                        for t, v in zip(reversed(grid), reversed(base)))
+        parts.append(
+            f'<polygon points="{fwd} {back}" fill="{_tag_color(tag)}" '
+            f'fill-opacity="0.85"><title>{escape(tag)}</title></polygon>'
+        )
+    parts.append("</svg>")
+    legend = ['<div class="legend">']
+    for tag, _pts in tags:
+        legend.append(
+            f'<span><span class="sw" style="background:{_tag_color(tag)}">'
+            f"</span>{escape(tag)}</span>"
+        )
+    legend.append("</div>")
+    return "".join(legend) + "".join(parts)
+
+
+def _dirty_vs_write_chart(run: dict) -> str:
+    """Dirty-rate vs guest write-rate, each normalized to its own peak
+    (different units; the shapes are what the comparison is about)."""
+    from repro.obs.series.agg import rates_from_cumulative
+
+    series = []
+    for name, sig in sorted(run["signals"].items()):
+        if name.startswith("mem.dirty_rate:") and sig["points"]:
+            series.append((f"{name} (peak "
+                           f"{_fmt_bytes(sig['max'] or 0.0)}/s)",
+                           "var(--s5)", sig["points"], sig["max"]))
+        elif name.startswith("writes.chunks:") and sig["points"]:
+            rates = rates_from_cumulative(sig["points"], sig["bin_width"])
+            peak = max(v for _t, v in rates)
+            series.append((f"{name} (peak {_fmt_value(peak)} chunks/s)",
+                           "var(--s6)", rates, peak))
+    norm = [
+        (name, color, [[t, v / peak] for t, v in pts] if peak else pts)
+        for name, color, pts, peak in series
+    ]
+    return _line_chart(norm, "× peak", "dirty rate vs write rate")
+
+
+def _series_conservation_badges(run: dict) -> str:
+    cons = run.get("conservation")
+    if cons is None:
+        return (
+            '<span class="badge"><span class="dot">○</span>'
+            "no traffic meter snapshot in this run</span>"
+        )
+    badges = []
+    for tag, row in sorted(cons["by_tag"].items()):
+        if row["exact"]:
+            badges.append(
+                '<span class="badge good"><span class="dot">✓</span>'
+                f"net.{escape(tag)} integral = meter total "
+                f"({escape(_fmt_bytes(row['meter_total']))})</span>"
+            )
+        else:
+            badges.append(
+                '<span class="badge bad"><span class="dot">✗</span>'
+                f"net.{escape(tag)} integral "
+                f"{escape(_fmt_bytes(row['series_total']))} ≠ meter "
+                f"{escape(_fmt_bytes(row['meter_total']))}</span>"
+            )
+    return "<br>".join(badges)
+
+
+def _series_table(run: dict) -> str:
+    rows = [
+        "<details><summary>table view</summary><table>",
+        "<tr><th>signal</th><th>kind</th><th>unit</th><th>samples</th>"
+        "<th>min</th><th>max</th><th>total</th></tr>",
+    ]
+    for name, sig in sorted(run["signals"].items()):
+        if sig["kind"] == "distribution":
+            n = len(sig["snapshots"])
+            cells = (f"{n} snapshot{'s' if n != 1 else ''}")
+            rows.append(
+                f"<tr><td>{escape(name)}</td><td>distribution</td>"
+                f"<td>{escape(sig['unit'])}</td><td>{cells}</td>"
+                "<td></td><td></td><td></td></tr>"
+            )
+            continue
+        vmin = _fmt_value(sig["min"]) if sig.get("min") is not None else ""
+        vmax = _fmt_value(sig["max"]) if sig.get("max") is not None else ""
+        total = _fmt_value(sig["total"]) if "total" in sig else ""
+        rows.append(
+            f"<tr><td>{escape(name)}</td><td>{escape(sig['kind'])}</td>"
+            f"<td>{escape(sig['unit'])}</td><td>{sig['samples']}</td>"
+            f"<td>{vmin}</td><td>{vmax}</td><td>{total}</td></tr>"
+        )
+    rows.append("</table></details>")
+    return "".join(rows)
+
+
+def _series_panel(series: dict) -> str:
+    """Time-series cards (one per recorded run): drain curve, stacked
+    per-tag bandwidth, dirty-vs-write overlay, conservation badges."""
+    if not series.get("enabled") or not series.get("runs"):
+        return ""
+    cards = []
+    for run in series["runs"]:
+        if not run["signals"]:
+            continue
+        blocks = [
+            '<div class="card">',
+            f"<h2>Time-resolved telemetry — {escape(run['label'])}</h2>",
+            _series_conservation_badges(run),
+        ]
+        drain = _line_chart(
+            [
+                (name, f"var(--s{_DRAIN_SLOTS[name.split(':', 1)[0]]})",
+                 sig["points"])
+                for name, sig in sorted(run["signals"].items())
+                if name.startswith(_DRAIN_PREFIXES) and sig["kind"] == "gauge"
+            ],
+            "chunks", "remaining-set drain",
+        )
+        if drain:
+            blocks.append("<h3>Remaining-set drain</h3>")
+            blocks.append(drain)
+        bandwidth = _stacked_bandwidth(run)
+        if bandwidth:
+            blocks.append("<h3>Bandwidth by tag (stacked)</h3>")
+            blocks.append(bandwidth)
+        overlay = _dirty_vs_write_chart(run)
+        if overlay:
+            blocks.append("<h3>Dirty rate vs guest write rate</h3>")
+            blocks.append(overlay)
+        blocks.append(_series_table(run))
+        blocks.append("</div>")
+        cards.append("".join(blocks))
+    return "".join(cards)
+
+
 def render_html(summary: dict, title: str = "Migration flight report",
-                profile: dict | None = None) -> str:
+                profile: dict | None = None,
+                series: dict | None = None) -> str:
     """The whole summary as one dependency-free HTML document.
 
     ``profile`` optionally embeds a host self-profile card
-    (:meth:`repro.obs.prof.Profiler.summary`) after the run cards.
+    (:meth:`repro.obs.prof.Profiler.summary`) after the run cards;
+    ``series`` embeds time-resolved telemetry cards
+    (:meth:`repro.obs.series.SeriesRecorder.summary`).
     """
     body = []
     for run in summary["runs"]:
@@ -743,6 +1049,8 @@ def render_html(summary: dict, title: str = "Migration flight report",
         body.append("</div>")
     if profile is not None:
         body.append(_profile_panel(profile))
+    if series is not None:
+        body.append(_series_panel(series))
     ok = summary["conservation_ok"]
     overall = (
         '<span class="badge good"><span class="dot">✓</span>'

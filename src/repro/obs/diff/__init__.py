@@ -27,6 +27,7 @@ from repro.obs.diff.loaders import (
     artifact_from_bench_entry,
     artifact_from_critical_path,
     artifact_from_prof_summary,
+    artifact_from_series_doc,
     load_artifact,
 )
 from repro.obs.diff.report import render_diff_html, render_diff_text
@@ -38,6 +39,7 @@ __all__ = [
     "artifact_from_bench_entry",
     "artifact_from_critical_path",
     "artifact_from_prof_summary",
+    "artifact_from_series_doc",
     "diff_artifacts",
     "diff_files",
     "diff_json",

@@ -20,6 +20,8 @@ kind                      source document
 ``bench``                 one entry of ``BENCH_simulator.json``
                           (schema ``repro.bench/1``; the file is an array —
                           pick an entry by index)
+``series``                time-resolved telemetry (``--series-out`` output,
+                          schema ``repro.series/1``)
 ========================  =====================================================
 
 Only *additive* quantities become dimensions (bytes, seconds, counts):
@@ -44,6 +46,7 @@ __all__ = [
     "artifact_from_bench_entry",
     "artifact_from_critical_path",
     "artifact_from_prof_summary",
+    "artifact_from_series_doc",
     "load_artifact",
 ]
 
@@ -55,6 +58,7 @@ _SCHEMA_KINDS = {
     "repro.critical-path/1": "critical-path",
     "repro.prof/1": "prof",
     "repro.bench/1": "bench",
+    "repro.series/1": "series",
 }
 
 
@@ -184,6 +188,43 @@ def artifact_from_bench_entry(entry: dict, source: str) -> dict:
     return {"kind": "bench", "source": source, "runs": [run]}
 
 
+# -- time-series documents -----------------------------------------------------
+
+def artifact_from_series_doc(doc: dict, source: str) -> dict:
+    """Normalize a time-series document (``repro.series/1``).
+
+    Every sampled point becomes a keyed value (``signal@t`` → value;
+    distribution snapshot cells ``signal@t:writes/column`` → count), so
+    two recorded curves diff point-for-point: a regression that shifts
+    the drain curve shows up as exactly-attributed per-point deltas.
+    Rate totals get their own ``series.totals`` dimension.
+    """
+    if not doc.get("enabled", True):
+        raise DiffError(
+            f"series document in {source} was recorded with telemetry "
+            "disabled — re-run with --series-out")
+    runs = []
+    for run in doc.get("runs", []):
+        out = _new_run(run.get("label", "run"))
+        by_signal: dict = {}
+        totals: dict = {}
+        for name, sig in run.get("signals", {}).items():
+            if sig["kind"] == "distribution":
+                for snap in sig["snapshots"]:
+                    t = snap["t"]
+                    for wc, column, count in snap["cells"]:
+                        by_signal[f"{name}@{t:g}:{wc}/{column}"] = count
+                continue
+            for t, value in sig["points"]:
+                by_signal[f"{name}@{t:g}"] = value
+            if sig["kind"] == "rate":
+                totals[name] = sig["total"]
+        _series(out, "series.by_signal", "value", by_signal)
+        _series(out, "series.totals", "value", totals)
+        runs.append(out)
+    return {"kind": "series", "source": source, "runs": runs}
+
+
 # -- file loading --------------------------------------------------------------
 
 def _looks_like_trace(data) -> bool:
@@ -261,4 +302,6 @@ def load_artifact(path: _PathLike, entry: Optional[int] = None) -> dict:
         return artifact_from_critical_path(data, source)
     if kind == "prof":
         return artifact_from_prof_summary(data, source)
+    if kind == "series":
+        return artifact_from_series_doc(data, source)
     return artifact_from_bench_entry(data, source)

@@ -23,6 +23,7 @@ __all__ = [
     "write_chrome_trace",
     "write_events_jsonl",
     "write_metrics_json",
+    "write_series_json",
     "write_trace",
 ]
 
@@ -100,4 +101,12 @@ def write_metrics_json(dump: dict, path: _PathLike) -> pathlib.Path:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(dump, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def write_series_json(doc: dict, path: _PathLike) -> pathlib.Path:
+    """Write a ``repro.series/1`` document (``SeriesRecorder.summary``)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_dumps(doc) + "\n")
     return path

@@ -1,0 +1,205 @@
+"""Load and render ``repro.series/1`` documents: sparklines, CSV, JSON.
+
+The ``repro series`` subcommand accepts either a recorded series
+document (``--series-out``) or a raw trace; for traces the gauge
+signals are reconstructed from the Chrome counter tracks (``ph: "C"``)
+that the tracer already emits, grouped per process lane.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.series.core import SCHEMA
+
+__all__ = [
+    "SeriesLoadError",
+    "coerce_series_doc",
+    "series_from_trace_events",
+    "render_sparklines",
+    "series_csv",
+    "load_series_file",
+]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+class SeriesLoadError(ValueError):
+    """A one-line, user-facing load failure (CLI prints it, exit 2)."""
+
+
+def series_from_trace_events(events: list, source: str = "trace") -> dict:
+    """A ``repro.series/1`` doc derived from a trace's counter tracks.
+
+    Each ``ph: "C"`` sample becomes a gauge point on the signal
+    ``<counter-name>`` (or ``<counter-name>.<key>`` for multi-value
+    counters), with one run per traced process lane.
+    """
+    labels: dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            label = str(ev.get("args", {}).get("name", ev.get("pid")))
+            # The exporter prefixes lanes with "repro:"; strip it back.
+            labels[ev["pid"]] = label.split(":", 1)[-1]
+    per_run: dict[int, dict] = {}
+    for ev in events:
+        if ev.get("ph") != "C":
+            continue
+        args = ev.get("args") or {}
+        signals = per_run.setdefault(ev.get("pid", 0), {})
+        for key in sorted(args):
+            name = ev["name"] if len(args) == 1 else f"{ev['name']}.{key}"
+            sig = signals.setdefault(name, {
+                "kind": "gauge", "unit": key, "points": [],
+            })
+            sig["points"].append([ev["ts"] / 1e6, float(args[key])])
+    if not per_run:
+        raise SeriesLoadError(
+            f"{source} contains no counter events — record a series "
+            "document with --series-out, or trace with counters enabled"
+        )
+    runs = []
+    for pid in sorted(per_run):
+        signals = per_run[pid]
+        for sig in signals.values():
+            values = [v for _t, v in sig["points"]]
+            sig["samples"] = len(values)
+            sig["min"] = min(values)
+            sig["max"] = max(values)
+        runs.append({
+            "label": labels.get(pid, f"pid {pid}"),
+            "signals": dict(sorted(signals.items())),
+            "conservation": None,
+        })
+    return {"schema": SCHEMA, "enabled": True, "runs": runs}
+
+
+def coerce_series_doc(data: object, source: str) -> dict:
+    """Accept a series doc or a trace; anything else is a one-line error."""
+    if isinstance(data, dict) and data.get("schema") == SCHEMA:
+        if not data.get("enabled"):
+            raise SeriesLoadError(
+                f"{source} was recorded with series disabled — rerun with "
+                "--series/--series-out"
+            )
+        return data
+    if isinstance(data, dict) and "traceEvents" in data:
+        return series_from_trace_events(data["traceEvents"], source)
+    if isinstance(data, list):
+        return series_from_trace_events(data, source)
+    if isinstance(data, dict) and "schema" in data:
+        raise SeriesLoadError(
+            f"{source} has schema {data['schema']!r} — expected {SCHEMA!r} "
+            "(record one with --series-out) or a trace"
+        )
+    raise SeriesLoadError(
+        f"{source} is neither a {SCHEMA} document nor a trace"
+    )
+
+
+def _sparkline(points: list, width: int) -> str:
+    if not points:
+        return ""
+    values = [v for _t, v in points]
+    if len(values) > width:
+        # Last-value decimation onto `width` columns over the time span.
+        t0, t1 = points[0][0], points[-1][0]
+        span = (t1 - t0) or 1.0
+        cols: dict[int, float] = {}
+        for t, v in points:
+            cols[min(int((t - t0) / span * width), width - 1)] = v
+        values = [cols[i] for i in sorted(cols)]
+    lo, hi = min(values), max(values)
+    rng = hi - lo
+    if rng <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(int((v - lo) / rng * len(_SPARK)), len(_SPARK) - 1)]
+        for v in values
+    )
+
+
+def _match(name: str, patterns: list) -> bool:
+    import fnmatch
+    return not patterns or any(fnmatch.fnmatch(name, p) for p in patterns)
+
+
+def render_sparklines(doc: dict, width: int = 60,
+                      signals: list | None = None) -> str:
+    """Fixed-width text: one sparkline row per signal, per run."""
+    patterns = signals or []
+    out = []
+    for run in doc["runs"]:
+        out.append(f"== run: {run['label']}")
+        shown = 0
+        for name, sig in run["signals"].items():
+            if not _match(name, patterns):
+                continue
+            shown += 1
+            if sig["kind"] == "distribution":
+                snaps = sig["snapshots"]
+                cells = sum(len(s["cells"]) for s in snaps)
+                out.append(f"  {name}".ljust(34)
+                           + f"[distribution: {len(snaps)} snapshot(s), "
+                             f"{cells} cells]")
+                continue
+            points = sig["points"]
+            spark = _sparkline(points, width)
+            lo = sig.get("min", points[0][1] if points else 0.0)
+            hi = sig.get("max", points[-1][1] if points else 0.0)
+            tail = (f"total {sig['total']:g} {sig['unit']}"
+                    if sig["kind"] == "rate"
+                    else f"min {lo:g}  max {hi:g} {sig['unit']}")
+            out.append(f"  {name}".ljust(34) + spark)
+            out.append(" " * 34 + f"{sig['samples']} samples  {tail}")
+        if not shown:
+            out.append("  (no matching signals)")
+        cons = run.get("conservation")
+        if cons is not None:
+            verdict = ("exact" if cons["ok"]
+                       else "VIOLATED — see by_tag")
+            out.append(f"  net.* integral vs TrafficMeter: {verdict}")
+        out.append("")
+    return "\n".join(out).rstrip("\n") + "\n"
+
+
+def series_csv(doc: dict, signals: list | None = None) -> str:
+    """Long-form CSV: ``run,signal,kind,unit,t,value`` rows."""
+    patterns = signals or []
+    lines = ["run,signal,kind,unit,t,value"]
+    for run in doc["runs"]:
+        for name, sig in run["signals"].items():
+            if not _match(name, patterns):
+                continue
+            if sig["kind"] == "distribution":
+                for snap in sig["snapshots"]:
+                    for wc, col, n in snap["cells"]:
+                        lines.append(
+                            f'{run["label"]},{name}:{wc}/{col},'
+                            f'distribution,{sig["unit"]},{snap["t"]:g},{n}'
+                        )
+                continue
+            for t, v in sig["points"]:
+                lines.append(
+                    f'{run["label"]},{name},{sig["kind"]},{sig["unit"]},'
+                    f"{t:g},{v:g}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def load_series_file(path: str) -> dict:
+    """Read ``path`` and coerce it (JSON or JSONL trace stream)."""
+    try:
+        text = open(path).read()
+    except OSError as exc:
+        raise SeriesLoadError(f"cannot read {path}: {exc}") from exc
+    try:
+        if path.endswith(".jsonl"):
+            data: object = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+        else:
+            data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SeriesLoadError(f"{path} is not valid JSON: {exc}") from exc
+    return coerce_series_doc(data, path)

@@ -41,6 +41,7 @@ from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.obs.prof.core import NULL_PROFILER, AnyProfiler
 from repro.obs.registry import NULL_METRICS
+from repro.obs.series.core import NULL_SERIES, AnySeries
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -422,6 +423,9 @@ class Environment:
         #: Host-side self-profiler (``repro.obs.prof``); the null object
         #: keeps the dispatch fast path branch-predictable when off.
         self.profiler: AnyProfiler = NULL_PROFILER
+        #: Time-series recorder (``repro.obs.series``); observe-only
+        #: probes sample into it when enabled, no-op otherwise.
+        self.series: AnySeries = NULL_SERIES
         #: Lifetime count of processed events; the benchmark harness
         #: (benchmarks/trajectory.py) divides by wall-clock for events/sec.
         #: Cancelled entries are skipped, not processed — they don't count.
@@ -533,6 +537,13 @@ class Environment:
             return
         self._now = when
         self.events_processed += 1
+        if self.series.enabled:
+            self.series.gauge(
+                "kernel.ready", when,
+                len(self._bucket_urgent) + len(self._bucket_normal),
+                unit="events")
+            self.series.gauge("kernel.heap", when, len(self._queue),
+                              unit="events")
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for cb in callbacks:
@@ -563,6 +574,13 @@ class Environment:
                 return
             self._now = when
             self.events_processed += 1
+            if self.series.enabled:
+                self.series.gauge(
+                    "kernel.ready", when,
+                    len(self._bucket_urgent) + len(self._bucket_normal),
+                    unit="events")
+                self.series.gauge("kernel.heap", when, len(self._queue),
+                                  unit="events")
             callbacks, event.callbacks = event.callbacks, None
             assert callbacks is not None
             prof.count("kernel.callbacks_run", len(callbacks))

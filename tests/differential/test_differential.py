@@ -109,6 +109,20 @@ def _first_diff(a: str, b: str, context: int = 3) -> str:
     return "  (digests differ in length only)"
 
 
+def _strip_kernel_introspection(doc):
+    """Drop ``kernel.*`` signals from a series document.
+
+    Those gauges deliberately observe scheduler internals (ready-list
+    depth, heap size), which legitimately differ between the fast and
+    reference kernels; every other signal is simulation-time data and
+    must still match bitwise.
+    """
+    for run in doc.get("runs", []):
+        for name in [n for n in run["signals"] if n.startswith("kernel.")]:
+            del run["signals"][name]
+    return doc
+
+
 # ---------------------------------------------------------------- goldens
 @pytest.mark.parametrize("figure", sorted(GOLDENS))
 def test_golden_scenario_differential(figure):
@@ -119,7 +133,10 @@ def test_golden_scenario_differential(figure):
     """
     def run(kernel):
         with kernel_scope(kernel):
-            return exact_json(GOLDENS[figure]())
+            doc = GOLDENS[figure]()
+            if figure == "fig2_series":
+                doc = _strip_kernel_introspection(doc)
+            return exact_json(doc)
 
     _assert_kernels_agree(run, f"golden:{figure}")
 

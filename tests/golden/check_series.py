@@ -1,0 +1,72 @@
+"""CI smoke check: ``--series-out`` output matches the golden curves.
+
+Usage (what the CI series-smoke job runs)::
+
+    PYTHONPATH=src python -m repro.cli fig2 --series-out /tmp/s.json
+    PYTHONPATH=src python -m tests.golden.check_series /tmp/s.json
+
+Both sides go through the golden 9-significant-digit rounding before the
+byte comparison.  Before comparing, the document must carry the
+``repro.series/1`` schema and every run's conservation verdict must be
+exact — the step-integral of each ``net.*`` curve equals the
+TrafficMeter tag total on rationals.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+
+from tests.golden.generate import FIXTURES, canonical_json
+
+GOLDEN = "fig2_series.json"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fixture_path = FIXTURES / GOLDEN
+    if not fixture_path.exists():
+        print(f"error: missing fixture {fixture_path}; generate with "
+              "'PYTHONPATH=src python -m tests.golden.generate'",
+              file=sys.stderr)
+        return 2
+    doc = json.loads(open(argv[0]).read())
+    if doc.get("schema") != "repro.series/1":
+        print(f"error: {argv[0]} is not a repro.series/1 document "
+              f"(schema {doc.get('schema')!r})", file=sys.stderr)
+        return 1
+    if not doc.get("enabled") or not doc.get("runs"):
+        print("error: series document is empty — record with --series-out",
+              file=sys.stderr)
+        return 1
+    for run in doc["runs"]:
+        cons = run.get("conservation")
+        if cons is None or not cons.get("ok"):
+            print(f"error: run {run.get('label')!r} does not conserve — "
+                  "the net.* integrals no longer match the TrafficMeter",
+                  file=sys.stderr)
+            return 1
+    actual = canonical_json(doc)
+    expected = fixture_path.read_text()
+    if actual == expected:
+        print("series output matches the fig2 golden fixture")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=str(fixture_path),
+        tofile=argv[0],
+    ))
+    print("error: series output drifted from the golden fixture; if "
+          "intentional, regenerate with "
+          "'PYTHONPATH=src python -m tests.golden.generate'",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

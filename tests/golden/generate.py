@@ -58,10 +58,10 @@ def _outcome_digest(outcome) -> dict:
     }
 
 
-def fig2_golden() -> dict:
+def fig2_golden(obs=None) -> dict:
     from repro.experiments.fig2 import run_fig2
 
-    record, stats, traffic = run_fig2("our-approach", seed=0)
+    record, stats, traffic = run_fig2("our-approach", seed=0, obs=obs)
     return {
         "phases": [[name, start, end] for name, start, end in record.phases],
         "control_at": record.control_at,
@@ -74,10 +74,10 @@ def fig2_golden() -> dict:
     }
 
 
-def fig3_golden() -> dict:
+def fig3_golden(obs=None) -> dict:
     from repro.experiments.fig3 import run_fig3
 
-    results = run_fig3(quick=True, seed=0)
+    results = run_fig3(quick=True, seed=0, obs=obs)
     return {
         workload: {
             approach: _outcome_digest(outcome)
@@ -87,11 +87,12 @@ def fig3_golden() -> dict:
     }
 
 
-def fig4_golden() -> dict:
+def fig4_golden(obs=None) -> dict:
     from repro.experiments.fig4 import run_fig4
 
     results = run_fig4(
-        levels=FIG4_LEVELS, n_sources=FIG4_SOURCES, quick=True, seed=0
+        levels=FIG4_LEVELS, n_sources=FIG4_SOURCES, quick=True, seed=0,
+        obs=obs,
     )
     return {
         approach: {
@@ -105,10 +106,10 @@ def fig4_golden() -> dict:
     }
 
 
-def fig5_golden() -> dict:
+def fig5_golden(obs=None) -> dict:
     from repro.experiments.fig5 import run_fig5
 
-    results = run_fig5(quick=True, seed=0)
+    results = run_fig5(quick=True, seed=0, obs=obs)
     return {
         approach: {
             str(n): {
@@ -186,6 +187,23 @@ def fig2_summary_precopy_golden() -> dict:
     return _fig2_analyze_summary("precopy")
 
 
+def fig2_series_golden() -> dict:
+    """The ``repro.series/1`` document for a fig2 run.
+
+    Pins every probe the series recorder owns — remaining-set drain,
+    per-tag byte curves, dirty-rate samples, kernel depth — plus the
+    per-run conservation verdict.  Like the analyze summaries, the
+    document is pure simulation-time data, so it is deterministic
+    across hosts.
+    """
+    from repro.experiments.fig2 import run_fig2
+    from repro.obs import Observability
+
+    obs = Observability(trace=False, metrics=False, series=True)
+    run_fig2("our-approach", seed=0, obs=obs)
+    return obs.series.summary()
+
+
 def _diff_fixture(name_a: str, name_b: str) -> dict:
     """Diff two already-generated summary fixtures (committed inputs ->
     committed output, exactly what CI's diff-smoke job replays)."""
@@ -216,6 +234,7 @@ GOLDENS = {
     "fig2_summary_fast": fig2_summary_fast_golden,
     "fig2_summary_reference": fig2_summary_reference_golden,
     "fig2_summary_precopy": fig2_summary_precopy_golden,
+    "fig2_series": fig2_series_golden,
     "fig2_diff_kernels": fig2_diff_kernels_golden,
     "fig2_diff_precopy": fig2_diff_precopy_golden,
 }

@@ -1,0 +1,11 @@
+# simlint: module=repro.obs.series.fixture
+"""The series recorder importing the diff engine: S502 fires — every
+artifact producer must stay below its differ in the obs sub-DAG."""
+
+from repro.obs.diff import diff_artifacts
+from repro.obs.diff.loaders import artifact_from_series_doc
+
+
+def self_diffing_summary(doc):
+    art = artifact_from_series_doc(doc, "self")
+    return diff_artifacts(art, art)

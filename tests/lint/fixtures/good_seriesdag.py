@@ -1,0 +1,11 @@
+# simlint: module=repro.obs.diff.fixture
+"""The diff engine consuming the series loaders — downward in the obs
+sub-DAG, S502 stays quiet."""
+
+from repro.obs.series import load_series_file
+from repro.obs.series.core import SCHEMA
+from repro.obs.series.render import coerce_series_doc
+
+
+def normalize(path):
+    return load_series_file(path), coerce_series_doc, SCHEMA
