@@ -106,11 +106,11 @@ def _scenario_counters(entries: list[dict], name: str) -> list[str]:
 
 def render_history(history: list[dict]) -> str:
     """Per-scenario history tables over every trajectory entry."""
-    names: list[str] = []
-    for entry in history:
-        for sc in entry.get("scenarios", []):
-            if sc.get("name") not in names:
-                names.append(sc.get("name"))
+    names: list[str] = list(dict.fromkeys(
+        sc.get("name")
+        for entry in history
+        for sc in entry.get("scenarios", [])
+    ))
     lines = [f"== BENCH trajectory: {len(history)} entries"]
     for name in names:
         counters = _scenario_counters(history, name)

@@ -501,19 +501,19 @@ def _render_critical_text(out: dict) -> str:
                    else f"RESIDUAL {cons['residual_s']:g} s")
             )
             lines.append("  critical path by resource:")
-            for row in att["by_resource"]:
-                lines.append(
-                    f"    {row['resource']:<22s}"
-                    f"{row['seconds']:>10.3f} s  "
-                    f"{100 * row['share']:5.1f}%"
-                )
-        for wi in run["what_if"]:
-            lines.append(
-                f"  what-if {wi['resource']}x{wi['factor']:g} "
-                f"(attempt {wi['attempt']}): wall {wi['wall_s']:.3f} -> "
-                f">= {wi['new_wall_s']:.3f} s "
-                f"(speedup <= {wi['speedup_bound']:.2f}x)"
+            lines.extend(
+                f"    {row['resource']:<22s}"
+                f"{row['seconds']:>10.3f} s  "
+                f"{100 * row['share']:5.1f}%"
+                for row in att["by_resource"]
             )
+        lines.extend(
+            f"  what-if {wi['resource']}x{wi['factor']:g} "
+            f"(attempt {wi['attempt']}): wall {wi['wall_s']:.3f} -> "
+            f">= {wi['new_wall_s']:.3f} s "
+            f"(speedup <= {wi['speedup_bound']:.2f}x)"
+            for wi in run["what_if"]
+        )
         lines.append("")
     return "\n".join(lines).rstrip()
 

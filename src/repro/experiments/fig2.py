@@ -68,9 +68,11 @@ def render_fig2(approach: str = "our-approach", seed: int = 0, obs=None) -> str:
         "",
         "data movement:",
     ]
-    for tag in ("memory", "storage-push", "storage-pull", "repo-fetch"):
-        if tag in traffic:
-            lines.append(f"  {tag:14s} {traffic[tag] / MB:9.1f} MB")
+    lines.extend(
+        f"  {tag:14s} {traffic[tag] / MB:9.1f} MB"
+        for tag in ("memory", "storage-push", "storage-pull", "repo-fetch")
+        if tag in traffic
+    )
     src = stats.get("source", {})
     dst = stats.get("destination", {})
     if src or dst:

@@ -54,8 +54,10 @@ def render_table(
     header = "approach".ljust(width) + "".join(c.rjust(colw) for c in columns)
     out.append(header)
     out.append("-" * len(header))
-    for name, row in cells.items():
-        out.append(name.ljust(width) + "".join(c.rjust(colw) for c in row))
+    out.extend(
+        name.ljust(width) + "".join(c.rjust(colw) for c in row)
+        for name, row in cells.items()
+    )
     return "\n".join(out)
 
 
@@ -77,8 +79,8 @@ def render_series(
     header = x_label.ljust(width) + "".join(_fmt(x).rjust(colw) for x in xs)
     out.append(header)
     out.append("-" * len(header))
-    for s in series:
-        out.append(
-            s.approach.ljust(width) + "".join(_fmt(y).rjust(colw) for y in s.y)
-        )
+    out.extend(
+        s.approach.ljust(width) + "".join(_fmt(y).rjust(colw) for y in s.y)
+        for s in series
+    )
     return "\n".join(out)

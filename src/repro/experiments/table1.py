@@ -18,8 +18,7 @@ def render_table1() -> str:
     lines = ["== Table 1: Summary of compared approaches"]
     lines.append("Approach".ljust(width) + "Local storage transfer strategy")
     lines.append("-" * 60)
-    for name, summary in rows:
-        lines.append(name.ljust(width) + summary)
+    lines.extend(name.ljust(width) + summary for name, summary in rows)
     return "\n".join(lines)
 
 

@@ -1,0 +1,105 @@
+"""Suppression-budget baseline: committed debt, checked for drift.
+
+The lint run's suppression budget (every ``ignore[...]``/``daemon``
+pragma in the tree) is aggregated into a small committed document,
+``tests/lint/baseline.json``.  CI compares the budget of every run
+against it, in both directions:
+
+* **New debt fails.**  A suppression not in the baseline — or a count
+  above it — means somebody silenced a rule without updating the
+  committed record, so the diff that added the pragma must also carry
+  the baseline change (and therefore show up in review).
+* **Stale credit fails.**  A budget *below* the baseline means debt was
+  paid off but the record still claims it; the baseline must shrink in
+  the same commit so the ratchet only ever moves down deliberately.
+
+Entries aggregate by ``(path, rules, reason)`` with a count, not by line
+number, so pure line drift (code added above a pragma) does not churn
+the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintResult
+
+__all__ = ["baseline_entries", "check_baseline", "render_baseline",
+           "write_baseline", "load_baseline"]
+
+SCHEMA = "repro.lint.baseline/1"
+
+_Key = tuple[str, tuple[str, ...], str]
+
+
+def baseline_entries(result: "LintResult") -> list[dict]:
+    """Aggregate a run's suppression budget into baseline entries."""
+    counts: dict[_Key, int] = {}
+    for s in result.suppressions:
+        key = (s["path"], tuple(s["rules"]), s.get("reason", ""))
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {"path": path, "rules": list(rules), "reason": reason,
+         "count": count}
+        for (path, rules, reason), count in sorted(counts.items())
+    ]
+
+
+def render_baseline(result: "LintResult") -> str:
+    payload = {"schema": SCHEMA, "entries": baseline_entries(result)}
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_baseline(result: "LintResult", path: str) -> None:
+    Path(path).write_text(render_baseline(result), encoding="utf-8")
+
+
+def load_baseline(path: str) -> list[dict]:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, "
+            f"got {payload.get('schema')!r}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    return entries
+
+
+def check_baseline(result: "LintResult", path: str) -> list[str]:
+    """Drift messages comparing ``result``'s budget to the committed file.
+
+    Empty list means the budget matches exactly.
+    """
+    try:
+        committed = load_baseline(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return [f"baseline unreadable: {exc}"]
+
+    def as_map(entries: list[dict]) -> dict[_Key, int]:
+        out: dict[_Key, int] = {}
+        for e in entries:
+            key = (e["path"], tuple(e["rules"]), e.get("reason", ""))
+            out[key] = out.get(key, 0) + int(e.get("count", 1))
+        return out
+
+    have = as_map(baseline_entries(result))
+    want = as_map(committed)
+    msgs: list[str] = []
+    for key in sorted(set(have) | set(want)):
+        path_, rules, reason = key
+        label = f"{path_}: ignore[{','.join(rules)}]" + (
+            f" -- {reason}" if reason else "")
+        h, w = have.get(key, 0), want.get(key, 0)
+        if h > w:
+            msgs.append(
+                f"new suppression debt: {label} ({h} > baseline {w}); "
+                f"fix the finding or update the baseline in this commit")
+        elif h < w:
+            msgs.append(
+                f"suppression budget shrank: {label} ({h} < baseline "
+                f"{w}); regenerate the baseline so the ratchet records it")
+    return msgs

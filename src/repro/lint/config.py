@@ -74,6 +74,10 @@ class LintConfig:
         "repro.workloads",
         "repro.obs",
         "repro.obs.series",
+        # The byte-exactness harnesses themselves: suites that compare
+        # runs bit-for-bit must not be a source of nondeterminism.
+        "tests.differential",
+        "tests.golden",
     )
 
     #: Sanctioned host-time islands inside the determinism scope: modules
@@ -87,8 +91,9 @@ class LintConfig:
         "repro.obs.prof",
     )
 
-    #: X rules apply to these modules (plus any carrying a
-    #: ``# simlint: exact`` pragma): the Fraction-exact accounting code.
+    #: F rules (float-taint) apply to these modules (plus any carrying a
+    #: ``# simlint: exact`` pragma — now purely a scope declaration): the
+    #: Fraction-exact accounting code.
     exact_modules: tuple[str, ...] = (
         "repro.obs.analyze.attribution",
         "repro.obs.causal.critical",
@@ -108,6 +113,32 @@ class LintConfig:
         "repro.storage",
         "repro.repository",
         "repro.cluster",
+    )
+
+    #: P rules (probe purity) apply to modules under these prefixes —
+    #: everywhere the telemetry hooks are planted.  Same surface as the
+    #: kernel scope: a probe block in any simulation package must be
+    #: observe-only.
+    probe_modules: tuple[str, ...] = (
+        "repro.simkernel",
+        "repro.netsim",
+        "repro.core",
+        "repro.hypervisor",
+        "repro.workloads",
+        "repro.storage",
+        "repro.repository",
+        "repro.cluster",
+    )
+
+    #: Final attribute segments identifying telemetry handles for the P
+    #: rules: ``sr = self.env.series`` makes ``sr`` a probe handle, and
+    #: any call rooted at a handle (or reading through one of these
+    #: attributes) is sanctioned inside a probe block.
+    probe_attrs: tuple[str, ...] = (
+        "series",
+        "tracer",
+        "metrics",
+        "profiler",
     )
 
     #: Layer ranks for the S rules (longest-prefix match).

@@ -91,7 +91,7 @@ def lint_file(path: Path, config: LintConfig = DEFAULT_CONFIG,
         source = path.read_text(encoding="utf-8")
     except OSError as exc:
         result.findings.append(Finding(
-            path=display, line=1, col=1, rule="P000",
+            path=display, line=1, col=1, rule="E000",
             message=f"cannot read file: {exc}"))
         return result
     pragmas = parse_pragmas(source)
@@ -100,7 +100,7 @@ def lint_file(path: Path, config: LintConfig = DEFAULT_CONFIG,
     except SyntaxError as exc:
         result.findings.append(Finding(
             path=display, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
-            rule="P000", message=f"syntax error: {exc.msg}"))
+            rule="E000", message=f"syntax error: {exc.msg}"))
         return result
     module = pragmas.module_override or module_name_for(path)
     ctx = build_context(display, module, tree, config, pragmas)
@@ -181,9 +181,11 @@ def render_text(result: LintResult) -> str:
         )
         for s in result.suppressions:
             state = "used" if s["used"] else "UNUSED"
+            reason = s.get("reason", "")
+            tail = f" -- {reason}" if reason else ""
             lines.append(
                 f"    {s['path']}:{s['line']}: "
-                f"ignore[{','.join(s['rules'])}] ({state})"
+                f"ignore[{','.join(s['rules'])}] ({state}){tail}"
             )
     return "\n".join(lines)
 

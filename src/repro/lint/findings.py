@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.lint.dataflow import Hop
 
 
 @dataclass(frozen=True, order=True)
@@ -10,7 +13,10 @@ class Finding:
     """One simlint diagnostic.
 
     Orders by location first so rendered output is stable regardless of
-    the order rules ran in.
+    the order rules ran in.  Dataflow-backed findings (the F/P families
+    and the K upgrade) carry a ``witness`` — the def → flow → sink hop
+    chain that proves the finding — which renders as indented steps in
+    text and a list of ``{line, col, note}`` objects in JSON.
     """
 
     path: str
@@ -20,9 +26,13 @@ class Finding:
     message: str
     hint: str = ""
     suppressed: bool = field(default=False, compare=False)
+    witness: tuple[Hop, ...] = field(default=(), compare=False)
 
-    def as_dict(self) -> dict:
-        out = {
+    def with_witness(self, witness: tuple[Hop, ...]) -> "Finding":
+        return replace(self, witness=witness)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -32,11 +42,16 @@ class Finding:
         }
         if self.suppressed:
             out["suppressed"] = True
+        if self.witness:
+            out["witness"] = [h.as_dict() for h in self.witness]
         return out
 
     def render(self) -> str:
         sup = " (suppressed)" if self.suppressed else ""
         text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{sup}"
+        for i, h in enumerate(self.witness):
+            arrow = "└─" if i == len(self.witness) - 1 else "├─"
+            text += f"\n    {arrow} {self.path}:{h.line}:{h.col}: {h.note}"
         if self.hint:
             text += f"\n    hint: {self.hint}"
         return text

@@ -5,18 +5,22 @@ from __future__ import annotations
 from repro.lint.rules import (
     causetags,
     determinism,
-    exactness,
+    floattaint,
     kernelsafety,
+    probes,
     structure,
 )
 
 #: family letter -> check(ctx) callable.  Order is the report order for
-#: same-location findings.
+#: same-location findings.  The X family (syntactic exactness) was
+#: retired in favour of F: same invariant, proven by dataflow instead of
+#: declared by marker.
 ALL_RULES = {
     "D": determinism.check,
-    "X": exactness.check,
+    "F": floattaint.check,
     "C": causetags.check,
     "K": kernelsafety.check,
+    "P": probes.check,
     "S": structure.check,
 }
 

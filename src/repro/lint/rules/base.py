@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
@@ -106,7 +106,8 @@ def keyword_names(call: ast.Call) -> set[Optional[str]]:
     return {kw.arg for kw in call.keywords}
 
 
-def iter_function_defs(tree: ast.AST):
+def iter_function_defs(
+        tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             yield node

@@ -116,11 +116,11 @@ def _check_set_iteration(ctx: FileContext, node: ast.AST) -> list[Finding]:
         # wrapper preserves the set's hash order.
         if node.func.id in ("list", "tuple", "enumerate", "iter") and node.args:
             iters.append(node.args[0])
-    for it in iters:
-        if _is_bare_set(ctx, it):
-            out.append(ctx.finding(it, "D104",
-                                   "iteration over a bare set leaks "
-                                   "PYTHONHASHSEED order", _HINT_SET))
+    out.extend(
+        ctx.finding(it, "D104", "iteration over a bare set leaks "
+                                "PYTHONHASHSEED order", _HINT_SET)
+        for it in iters if _is_bare_set(ctx, it)
+    )
     # Unseeded default_rng() is caught here rather than in _check_use
     # because it needs the Call arguments.
     if isinstance(node, ast.Call):

@@ -1,0 +1,310 @@
+"""Float-taint abstract interpretation for the exactness proof (F rules).
+
+The exact-scope modules do their conservation arithmetic on
+:class:`fractions.Fraction`, where equality is exact by construction.
+The failure mode this engine hunts is a value that was *computed in
+float-land* — true division, a ``math.*``/``time.*`` return, a
+non-integral float literal — flowing into that exact arithmetic, where
+it silently turns a zero-residual proof into an epsilon comparison.
+
+Every expression evaluates to a :class:`Value` in a tiny lattice:
+
+``tainted``
+    Carries a witness chain (:class:`~repro.lint.dataflow.Hop` tuple)
+    from the taint origin through every assignment it travelled.
+``fraction``
+    Proven ``Fraction``-valued: a ``Fraction(...)`` construction, exact
+    arithmetic between fractions, a ``sum`` seeded with a fraction, or a
+    call whose one-hop summary proved all its returns fraction-valued.
+``unknown``
+    Everything else — parameters, attribute loads, foreign calls.
+    Unknown is *clean*: the engine only reports what it can prove, so a
+    finding is a real dataflow path, never a shrug.
+
+Taint rules (the interesting cases):
+
+* A float literal is an origin only when **non-integral** — ``0.0`` and
+  ``1e6`` denote exactly the numbers they look like, while ``0.1``'s
+  binary value already differs from its decimal spelling.
+* True division is an origin **unless** it is exact by type: one operand
+  proven ``Fraction`` and neither operand tainted
+  (``Fraction / Fraction`` and ``Fraction / int`` stay exact;
+  ``float / float`` does not).
+* ``math.*`` and ``time.*`` returns are always origins.
+* ``float(x)`` is a *coercion*, not an origin: it propagates ``x``'s
+  taint but adds none (converting an exact binary float changes its
+  type, not its value).  This is what lets artifact parsing
+  (``Fraction(float(nbytes))``) pass without a pragma.
+
+Assignments extend the witness chain; the per-name state is the merge
+over all reaching defs (any tainted def taints the name, all-fraction
+defs keep it fraction).  Two evaluation passes over the collected defs
+reach the loop-carried fixpoint this lattice needs.
+
+Cross-function flow is **one hop**: module-local helpers get a summary
+(evaluated with unknown parameters), so a helper returning
+``sum(..., Fraction(0))`` is fraction-valued at its call sites and one
+returning ``x / 1e6``-style arithmetic carries its taint to them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lint.dataflow import (
+    Def,
+    Hop,
+    attr_chain,
+    cap_hops,
+    collect_defs,
+    hop,
+    local_functions,
+    walk_own,
+)
+from repro.lint.rules.base import FileContext, resolved_name
+
+__all__ = ["TaintAnalysis", "Value", "UNKNOWN"]
+
+#: Stdlib modules whose call returns are float-tainted by definition.
+_TAINT_MODULES = ("math", "time")
+
+#: Builtins that propagate their argument's classification unchanged
+#: (coercions and order statistics: no new inexactness introduced).
+_PROPAGATE_CALLS = {"float", "abs", "min", "max", "round"}
+
+#: Builtins whose result is never fraction-valued and never tainted.
+_CLEAN_CALLS = {"int", "len", "str", "bool", "repr", "sorted", "list",
+                "dict", "tuple", "set", "frozenset", "range", "enumerate",
+                "zip", "isinstance", "getattr", "hash", "id", "format"}
+
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value: optional taint witness + fraction proof."""
+
+    taint: Optional[tuple[Hop, ...]] = None
+    fraction: bool = False
+
+    @property
+    def tainted(self) -> bool:
+        return self.taint is not None
+
+
+UNKNOWN = Value()
+FRACTION = Value(fraction=True)
+
+
+def _integral(value: float) -> bool:
+    """True when a float literal denotes exactly an integer (``0.0``, ``1e6``).
+
+    Such literals are exact by construction and carry no taint; ``nan``
+    and ``inf`` spellings are non-integral (and would be findings anyway
+    if they ever reached exact arithmetic).
+    """
+    try:
+        return value == int(value)
+    except (OverflowError, ValueError):
+        return False
+
+
+def _merge(values: list[Value]) -> Value:
+    """Join over reaching defs: any taint wins, fraction needs unanimity."""
+    if not values:
+        return UNKNOWN
+    taint = next((v.taint for v in values if v.taint is not None), None)
+    fraction = all(v.fraction for v in values)
+    return Value(taint=taint, fraction=fraction and taint is None)
+
+
+@dataclass
+class TaintAnalysis:
+    """Per-file float-taint engine with one-hop call summaries."""
+
+    ctx: FileContext
+    summaries: dict[str, Value] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # One-hop summaries, computed in source order: a helper defined
+        # earlier is visible to later bodies (the dominant direction in
+        # this tree); deeper recursion is deliberately out of scope.
+        for name, fn in sorted(
+            local_functions(self.ctx.tree).items(),
+            key=lambda kv: kv[1].lineno,
+        ):
+            self.summaries[name] = self._summarise(fn)
+
+    # -- public surface ----------------------------------------------------
+
+    def function_env(self, body: list[ast.stmt]) -> dict[str, Value]:
+        """Merged per-name state for one function body (fixpoint)."""
+        defs = collect_defs(body)
+        env: dict[str, Value] = {}
+        # Two passes: the first sees forward flows, the second closes
+        # loop-carried ones (x tainted at the bottom of a loop feeding
+        # its own next iteration).  The lattice is 2-level, so two
+        # passes reach the fixpoint.
+        for _pass in (0, 1):
+            for name, dlist in defs.items():
+                env[name] = self._merge_defs(name, dlist, env)
+        return env
+
+    def evaluate(self, expr: ast.expr, env: dict[str, Value]) -> Value:
+        """Classify ``expr`` under ``env``."""
+        return self._eval(expr, env, depth=0)
+
+    # -- internals ---------------------------------------------------------
+
+    def _merge_defs(self, name: str, dlist: list[Def],
+                    env: dict[str, Value]) -> Value:
+        values: list[Value] = []
+        for d in dlist:
+            if d.expr is None:
+                values.append(UNKNOWN)
+                continue
+            v = self._eval(d.expr, env, depth=0)
+            if d.aug:
+                # x += rhs: effective value is old-x <op> rhs.
+                v = _merge([env.get(name, UNKNOWN), v]) if not v.tainted \
+                    else v
+            if v.tainted:
+                assert v.taint is not None
+                v = Value(taint=cap_hops(
+                    v.taint + (hop(d.node, f"assigned to {name!r}"),)
+                ))
+            values.append(v)
+        return _merge(values)
+
+    def _summarise(self, fn: ast.FunctionDef) -> Value:
+        env = self.function_env(fn.body)
+        returns: list[Value] = []
+        for node in walk_own(fn.body):
+            if isinstance(node, ast.Return) and node.value is not None:
+                v = self._eval(node.value, env, depth=0)
+                if v.tainted:
+                    assert v.taint is not None
+                    v = Value(taint=cap_hops(v.taint + (
+                        hop(node, f"returned from {fn.name!r}"),
+                    )))
+                returns.append(v)
+        return _merge(returns) if returns else UNKNOWN
+
+    def is_fraction_ctor(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name) and func.id == "Fraction":
+            return True
+        name = resolved_name(self.ctx, func)
+        return name in ("fractions.Fraction", "Fraction")
+
+    def _taint_module_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted name when ``func`` is a ``math.*``/``time.*`` callable."""
+        name = resolved_name(self.ctx, func)
+        if name is None:
+            chain = attr_chain(func)
+            if chain is not None and chain[0] in _TAINT_MODULES:
+                name = ".".join(chain)
+        if name is not None and name.split(".")[0] in _TAINT_MODULES:
+            return name
+        return None
+
+    def _eval(self, expr: ast.expr, env: dict[str, Value],
+              depth: int) -> Value:
+        if depth > 40:  # pathological nesting: give up cleanly
+            return UNKNOWN
+        d = depth + 1
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, float) and not _integral(expr.value):
+                return Value(taint=(
+                    hop(expr, f"float literal {expr.value!r}"),
+                ))
+            return UNKNOWN
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, env, d)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, env, d)
+        if isinstance(expr, ast.IfExp):
+            return _merge([self._eval(expr.body, env, d),
+                           self._eval(expr.orelse, env, d)])
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env, d)
+        if isinstance(expr, (ast.Compare, ast.BoolOp)):
+            return UNKNOWN
+        if isinstance(expr, ast.NamedExpr):
+            return self._eval(expr.value, env, d)
+        # Attribute/Subscript loads, displays, comprehensions: unknown.
+        return UNKNOWN
+
+    def _eval_binop(self, expr: ast.BinOp, env: dict[str, Value],
+                    d: int) -> Value:
+        lv = self._eval(expr.left, env, d)
+        rv = self._eval(expr.right, env, d)
+        carried = lv.taint if lv.tainted else rv.taint
+        if isinstance(expr.op, ast.Div):
+            exact = ((lv.fraction or rv.fraction)
+                     and not lv.tainted and not rv.tainted)
+            if exact:
+                return FRACTION
+            hops: tuple[Hop, ...] = carried if carried is not None else ()
+            return Value(taint=cap_hops(
+                hops + (hop(expr, "true division"),)
+            ))
+        if carried is not None:
+            return Value(taint=carried)
+        if lv.fraction or rv.fraction:
+            # Fraction <op> {Fraction, int, unknown-int}: stays exact for
+            # every operator the exact modules use; an unknown operand
+            # that is secretly a float would taint at ITS origin instead.
+            return FRACTION
+        return UNKNOWN
+
+    def _eval_call(self, expr: ast.Call, env: dict[str, Value],
+                   d: int) -> Value:
+        func = expr.func
+        if self.is_fraction_ctor(func):
+            return FRACTION
+        mod_call = self._taint_module_call(func)
+        if mod_call is not None:
+            return Value(taint=(hop(expr, f"call to {mod_call}"),))
+        if isinstance(func, ast.Name):
+            if func.id in _PROPAGATE_CALLS:
+                args = [self._eval(a, env, d) for a in expr.args]
+                taint = next((a.taint for a in args if a.taint is not None),
+                             None)
+                if taint is not None:
+                    return Value(taint=taint)
+                if func.id in ("abs", "min", "max") and args \
+                        and all(a.fraction for a in args):
+                    return FRACTION
+                return UNKNOWN
+            if func.id in _CLEAN_CALLS:
+                return UNKNOWN
+            if func.id == "sum":
+                start = (self._eval(expr.args[1], env, d)
+                         if len(expr.args) > 1 else UNKNOWN)
+                head = (self._eval(expr.args[0], env, d)
+                        if expr.args else UNKNOWN)
+                taint = head.taint or start.taint
+                if taint is not None:
+                    return Value(taint=taint)
+                return FRACTION if start.fraction else UNKNOWN
+            summary = self.summaries.get(func.id)
+            if summary is not None:
+                if summary.tainted:
+                    assert summary.taint is not None
+                    return Value(taint=cap_hops(summary.taint + (
+                        hop(expr, f"via call to {func.id}(...)"),
+                    )))
+                return summary
+        chain = attr_chain(func)
+        if chain is not None and len(chain) == 2 and chain[0] == "self":
+            summary = self.summaries.get(chain[1])
+            if summary is not None:
+                if summary.tainted:
+                    assert summary.taint is not None
+                    return Value(taint=cap_hops(summary.taint + (
+                        hop(expr, f"via call to self.{chain[1]}(...)"),
+                    )))
+                return summary
+        return UNKNOWN

@@ -87,13 +87,13 @@ def flow_stats(events: list) -> dict:
                 continue
             args = begin.get("args", {})
             cause = args.get("cause", name[len("flow:"):])
-            t0 = begin.get("ts", 0.0) / 1e6  # simlint: ignore[X201] -- trace ts are µs floats
-            t1 = ev.get("ts", 0.0) / 1e6  # simlint: ignore[X201] -- trace ts are µs floats
+            t0 = begin.get("ts", 0.0) / 1e6  # µs floats: never reaches exact arithmetic
+            t1 = ev.get("ts", 0.0) / 1e6  # µs floats: never reaches exact arithmetic
             st = per_cause.setdefault(cause, {
                 "bytes": 0.0, "flows": 0, "busy_s": 0.0,
                 "t_first": t0, "t_last": t1,
             })
-            st["bytes"] += float(args.get("bytes", 0.0))  # simlint: ignore[X203] -- flow stats stay in float-land
+            st["bytes"] += float(args.get("bytes", 0.0))  # flow stats stay in float-land
             st["flows"] += 1
             st["busy_s"] += max(t1 - t0, 0.0)
             st["t_first"] = min(st["t_first"], t0)

@@ -88,14 +88,14 @@ def render_text(summary: dict) -> str:
                 "  cause".ljust(22) + "bytes".rjust(12) + "share".rjust(8)
                 + "flows".rjust(7) + "busy".rjust(10)
             )
-            for cause, nbytes, share, nflows, busy in rows:
-                out.append(
-                    f"  {cause}".ljust(22)
-                    + _fmt_bytes(nbytes).rjust(12)
-                    + f"{100 * share:.1f}%".rjust(8)
-                    + str(nflows).rjust(7)
-                    + _fmt_s(busy).rjust(10)
-                )
+            out.extend(
+                f"  {cause}".ljust(22)
+                + _fmt_bytes(nbytes).rjust(12)
+                + f"{100 * share:.1f}%".rjust(8)
+                + str(nflows).rjust(7)
+                + _fmt_s(busy).rjust(10)
+                for cause, nbytes, share, nflows, busy in rows
+            )
         metered = run["attribution"]["metered"]
         if metered is not None:
             cons = metered["conservation"]
@@ -139,16 +139,16 @@ def render_text(summary: dict) -> str:
                 f"  critical path {att['vm']} attempt {att['attempt']}: "
                 f"{_fmt_s(att['wall_s'])} wall, conservation {verdict}"
             )
-            for row in att["by_resource"]:
-                out.append(
-                    f"    {row['resource']}".ljust(26)
-                    + _fmt_s(row["seconds"]).rjust(10)
-                    + f"{100 * row['share']:.1f}%".rjust(8)
-                )
-        for hm in run["heatmaps"]:
-            out.append(
-                "  " + render_ascii(hm).replace("\n", "\n  ")
+            out.extend(
+                f"    {row['resource']}".ljust(26)
+                + _fmt_s(row["seconds"]).rjust(10)
+                + f"{100 * row['share']:.1f}%".rjust(8)
+                for row in att["by_resource"]
             )
+        out.extend(
+            "  " + render_ascii(hm).replace("\n", "\n  ")
+            for hm in run["heatmaps"]
+        )
         out.append("")
     status = "exact" if summary["conservation_ok"] else "VIOLATED"
     out.append(f"byte-attribution conservation across all runs: {status}")
@@ -281,12 +281,12 @@ def _cause_chart(rows: list) -> str:
         "<tr><th>cause</th><th>bytes</th><th>share</th>"
         "<th>flows</th><th>wire time</th></tr>",
     ]
-    for cause, nbytes, share, nflows, busy in rows:
-        table.append(
-            f"<tr><td>{escape(cause)}</td><td>{_fmt_bytes(nbytes)}</td>"
-            f"<td>{100 * share:.1f}%</td><td>{nflows}</td>"
-            f"<td>{busy:.2f} s</td></tr>"
-        )
+    table.extend(
+        f"<tr><td>{escape(cause)}</td><td>{_fmt_bytes(nbytes)}</td>"
+        f"<td>{100 * share:.1f}%</td><td>{nflows}</td>"
+        f"<td>{busy:.2f} s</td></tr>"
+        for cause, nbytes, share, nflows, busy in rows
+    )
     table.append("</table></details>")
     return "".join(parts) + "".join(table)
 
@@ -370,11 +370,11 @@ def _phase_chart(run: dict) -> str:
             )
     parts.append("</svg>")
     legend = ['<div class="legend">']
-    for name, slot in _PHASE_SLOTS.items():
-        legend.append(
-            f'<span><span class="sw" style="background:var(--s{slot})"></span>'
-            f"{escape(name)}</span>"
-        )
+    legend.extend(
+        f'<span><span class="sw" style="background:var(--s{slot})"></span>'
+        f"{escape(name)}</span>"
+        for name, slot in _PHASE_SLOTS.items()
+    )
     if run["phases"]["fault_windows"]:
         legend.append(
             '<span><span class="sw" style="background:var(--serious)"></span>'
@@ -388,13 +388,13 @@ def _phase_chart(run: dict) -> str:
     ]
     for tl in migrations:
         who = tl["vm"] + (f" #{tl['attempt'] + 1}" if tl["attempt"] else "")
-        for ph in tl["phases"]:
-            table.append(
-                f"<tr><td>{escape(who)}</td><td>{escape(ph['name'])}</td>"
-                f"<td>{ph['start_s']:.2f} s</td><td>{ph['end_s']:.2f} s</td>"
-                f"<td>{ph['duration_s']:.2f} s</td>"
-                f"<td>{ph.get('degraded_s', 0.0):.2f} s</td></tr>"
-            )
+        table.extend(
+            f"<tr><td>{escape(who)}</td><td>{escape(ph['name'])}</td>"
+            f"<td>{ph['start_s']:.2f} s</td><td>{ph['end_s']:.2f} s</td>"
+            f"<td>{ph['duration_s']:.2f} s</td>"
+            f"<td>{ph.get('degraded_s', 0.0):.2f} s</td></tr>"
+            for ph in tl["phases"]
+        )
     table.append("</table></details>")
     return "".join(legend) + "".join(parts) + "".join(table)
 
@@ -550,18 +550,16 @@ def _critical_chart(run: dict) -> str:
                 f"<title>{escape(title)}</title></rect>"
             )
     parts.append("</svg>")
-    seen = []
-    for att in attempts:
-        for row in att["by_resource"]:
-            if row["resource"] not in seen:
-                seen.append(row["resource"])
+    seen = list(dict.fromkeys(
+        row["resource"] for att in attempts for row in att["by_resource"]
+    ))
     legend = ['<div class="legend">']
-    for resource in seen:
-        legend.append(
-            f'<span><span class="sw" '
-            f'style="background:{_resource_color(resource)}"></span>'
-            f"{escape(resource)}</span>"
-        )
+    legend.extend(
+        f'<span><span class="sw" '
+        f'style="background:{_resource_color(resource)}"></span>'
+        f"{escape(resource)}</span>"
+        for resource in seen
+    )
     legend.append("</div>")
     table = [
         "<table>",
@@ -570,12 +568,12 @@ def _critical_chart(run: dict) -> str:
     ]
     for att in attempts:
         who = att["vm"] + (f" #{att['attempt'] + 1}" if att["attempt"] else "")
-        for row in att["by_resource"]:
-            table.append(
-                f"<tr><td>{escape(who)}</td><td>{escape(row['resource'])}</td>"
-                f"<td>{row['seconds']:.3f} s</td>"
-                f"<td>{100 * row['share']:.1f}%</td></tr>"
-            )
+        table.extend(
+            f"<tr><td>{escape(who)}</td><td>{escape(row['resource'])}</td>"
+            f"<td>{row['seconds']:.3f} s</td>"
+            f"<td>{100 * row['share']:.1f}%</td></tr>"
+            for row in att["by_resource"]
+        )
     table.append("</table>")
     badges = []
     for att in attempts:
@@ -806,11 +804,11 @@ def _line_chart(series: list, unit: str, aria: str) -> str:
         )
     parts.append("</svg>")
     legend = ['<div class="legend">']
-    for name, color, _pts in series:
-        legend.append(
-            f'<span><span class="sw" style="background:{color}"></span>'
-            f"{escape(name)}</span>"
-        )
+    legend.extend(
+        f'<span><span class="sw" style="background:{color}"></span>'
+        f"{escape(name)}</span>"
+        for name, color, _pts in series
+    )
     legend.append("</div>")
     return "".join(legend) + "".join(parts)
 
@@ -891,11 +889,11 @@ def _stacked_bandwidth(run: dict) -> str:
         )
     parts.append("</svg>")
     legend = ['<div class="legend">']
-    for tag, _pts in tags:
-        legend.append(
-            f'<span><span class="sw" style="background:{_tag_color(tag)}">'
-            f"</span>{escape(tag)}</span>"
-        )
+    legend.extend(
+        f'<span><span class="sw" style="background:{_tag_color(tag)}">'
+        f"</span>{escape(tag)}</span>"
+        for tag, _pts in tags
+    )
     legend.append("</div>")
     return "".join(legend) + "".join(parts)
 

@@ -17,6 +17,7 @@ may import it back (enforced by simlint S502).
 from __future__ import annotations
 
 import json
+import pathlib
 from typing import Optional
 
 from repro.obs.diff.delta import dimension_delta, merge_conservation
@@ -136,7 +137,8 @@ def diff_artifacts(a: dict, b: dict) -> dict:
     }
 
 
-def diff_files(path_a, path_b,
+def diff_files(path_a: "str | pathlib.Path",
+               path_b: "str | pathlib.Path",
                entry_a: Optional[int] = None,
                entry_b: Optional[int] = None) -> dict:
     """Load, normalize and diff two artifact files.

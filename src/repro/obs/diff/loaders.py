@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 __all__ = [
     "DiffError",
@@ -227,14 +227,14 @@ def artifact_from_series_doc(doc: dict, source: str) -> dict:
 
 # -- file loading --------------------------------------------------------------
 
-def _looks_like_trace(data) -> bool:
+def _looks_like_trace(data: object) -> bool:
     if isinstance(data, dict) and "traceEvents" in data:
         return True
     return (isinstance(data, list) and bool(data)
             and all(isinstance(e, dict) and "ph" in e for e in data[:16]))
 
 
-def _read_json(path: pathlib.Path):
+def _read_json(path: pathlib.Path) -> Any:
     try:
         text = path.read_text()
     except OSError as exc:

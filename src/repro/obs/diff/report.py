@@ -84,9 +84,12 @@ def render_diff_text(doc: dict, top: int = 10) -> str:
                 out.append(f"     ... {len(moved) - top} more "
                            f"(--top {len(moved)} to see all)")
         out.append("")
-    for side, labels in (("A", doc["unmatched_a"]), ("B", doc["unmatched_b"])):
-        if labels:
-            out.append(f"  unmatched runs in {side}: {', '.join(labels)}")
+    out.extend(
+        f"  unmatched runs in {side}: {', '.join(labels)}"
+        for side, labels in (("A", doc["unmatched_a"]),
+                             ("B", doc["unmatched_b"]))
+        if labels
+    )
     status = "exact" if doc["conservation_ok"] else "VIOLATED"
     out.append(f"delta conservation across all dimensions: {status}")
     if doc["zero_delta"]:
@@ -147,15 +150,15 @@ def _dim_panel(dim: dict, top: int) -> str:
         "<tr><th>key</th><th>A</th><th>B</th><th>Δ</th><th>share</th>"
         "<th>status</th></tr>",
     ]
-    for c in moved:
-        table.append(
-            f"<tr><td>{escape(c['key'])}</td>"
-            f"<td>{escape(_fmt(c['a'], dim['unit']))}</td>"
-            f"<td>{escape(_fmt(c['b'], dim['unit']))}</td>"
-            f"<td>{escape(_fmt_delta(c['delta'], dim['unit']))}</td>"
-            f"<td>{100 * c['share']:.1f}%</td>"
-            f"<td>{escape(c['status'])}</td></tr>"
-        )
+    table.extend(
+        f"<tr><td>{escape(c['key'])}</td>"
+        f"<td>{escape(_fmt(c['a'], dim['unit']))}</td>"
+        f"<td>{escape(_fmt(c['b'], dim['unit']))}</td>"
+        f"<td>{escape(_fmt_delta(c['delta'], dim['unit']))}</td>"
+        f"<td>{100 * c['share']:.1f}%</td>"
+        f"<td>{escape(c['status'])}</td></tr>"
+        for c in moved
+    )
     table.append("</table></details>")
     return head + "".join(parts) + "".join(table)
 
@@ -174,15 +177,15 @@ def render_diff_html(doc: dict, top: int = 10,
         body.append('<div class="card">')
         body.append(f"<h2>{escape(label)}</h2>")
         body.append(f"<p class='sub'>{escape(pair['headline'])}</p>")
-        for dim in pair["dimensions"]:
-            body.append(_dim_panel(dim, top))
+        body.extend(_dim_panel(dim, top) for dim in pair["dimensions"])
         body.append("</div>")
-    for side, labels in (("A", doc["unmatched_a"]), ("B", doc["unmatched_b"])):
-        if labels:
-            body.append(
-                f"<p class='sub'>unmatched runs in {side}: "
-                f"{escape(', '.join(labels))}</p>"
-            )
+    body.extend(
+        f"<p class='sub'>unmatched runs in {side}: "
+        f"{escape(', '.join(labels))}</p>"
+        for side, labels in (("A", doc["unmatched_a"]),
+                             ("B", doc["unmatched_b"]))
+        if labels
+    )
     ok = doc["conservation_ok"]
     badge = (
         '<span class="badge good"><span class="dot">✓</span>'

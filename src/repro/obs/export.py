@@ -41,24 +41,29 @@ def chrome_trace(tracer: Tracer, process_prefix: str = "repro") -> dict:
     Perfetto shows ``repro:our-approach/ior`` and ``push:vm0`` instead of
     bare integers.
     """
-    meta: list[dict] = []
-    for label, pid in sorted(tracer.pid_labels().items(), key=lambda kv: kv[1]):
-        meta.append({
+    meta: list[dict] = [
+        {
             "name": "process_name",
             "ph": "M",
             "pid": pid,
             "tid": 0,
             "args": {"name": f"{process_prefix}:{label}"},
-        })
-    for label, tid in sorted(tracer.tid_labels().items(), key=lambda kv: kv[1]):
-        for pid in sorted(tracer.pid_labels().values()):
-            meta.append({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": tid,
-                "args": {"name": label},
-            })
+        }
+        for label, pid in sorted(tracer.pid_labels().items(),
+                                 key=lambda kv: kv[1])
+    ]
+    meta.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for label, tid in sorted(tracer.tid_labels().items(),
+                                 key=lambda kv: kv[1])
+        for pid in sorted(tracer.pid_labels().values())
+    )
     return {
         "displayTimeUnit": "ms",
         "traceEvents": meta + tracer.events,

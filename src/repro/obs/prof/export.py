@@ -41,8 +41,10 @@ def _walk_paths(tree: list[dict]):
     while stack:
         path, node = stack.pop()
         yield path, node
-        for child in reversed(node.get("children", [])):
-            stack.append((path + (child["name"],), child))
+        stack.extend(
+            (path + (child["name"],), child)
+            for child in reversed(node.get("children", []))
+        )
 
 
 def speedscope_json(summary: dict, name: str = "repro profile") -> dict:
@@ -146,6 +148,8 @@ def render_profile_text(summary: dict) -> str:
     if counters:
         lines.append("work counters:")
         width = max(len(k) for k in counters)
-        for key, value in counters.items():
-            lines.append(f"  {key:<{width}s} {value:>14,d}")
+        lines.extend(
+            f"  {key:<{width}s} {value:>14,d}"
+            for key, value in counters.items()
+        )
     return "\n".join(lines)

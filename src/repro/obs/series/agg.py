@@ -8,6 +8,8 @@ the simulation, so plain float arithmetic is fine.
 
 from __future__ import annotations
 
+from typing import Callable
+
 __all__ = ["ewma", "rolling_mean", "rolling_max", "resample",
            "rates_from_cumulative"]
 
@@ -24,7 +26,8 @@ def ewma(points: list, alpha: float = 0.3) -> list:
     return out
 
 
-def _windowed(points: list, window: float, reduce) -> list:
+def _windowed(points: list, window: float,
+              reduce: Callable[[list], float]) -> list:
     if window <= 0.0:
         raise ValueError("window must be positive")
     out = []

@@ -7,15 +7,22 @@ a telescoping Fraction sum of successive deltas, so it collapses to the
 final sample with zero rounding — and the conservation check compares
 that against the meter's tag total as exact rationals, never floats.
 
-This is X-rule scope (``simlint``): no float literals in arithmetic, no
-``math``, every comparison on ``Fraction``.
+This is F-rule scope (``simlint`` float-taint): the dataflow engine
+proves no float-land value reaches the Fraction arithmetic below.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import Protocol
 
-__all__ = ["step_integral", "integral_check"]
+__all__ = ["step_integral", "integral_check", "TrafficMeterLike"]
+
+
+class TrafficMeterLike(Protocol):
+    """The sliver of TrafficMeter the conservation check reads."""
+
+    def by_tag(self) -> dict: ...
 
 
 def step_integral(points: list) -> Fraction:

@@ -31,7 +31,12 @@ single ``enabled`` check when recording is off.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.obs.series.conserve import integral_check
+
+if TYPE_CHECKING:
+    from repro.obs.series.conserve import TrafficMeterLike
 
 SCHEMA = "repro.series/1"
 
@@ -69,7 +74,7 @@ class NullSeriesRecorder:
                      unit: str = "chunks") -> None:
         pass
 
-    def check_conservation(self, meter) -> None:
+    def check_conservation(self, meter: "TrafficMeterLike") -> None:
         pass
 
     def finish_run(self, label: str) -> None:
@@ -262,7 +267,7 @@ class SeriesRecorder:
             out[tag] = cum
         return out
 
-    def check_conservation(self, meter) -> None:
+    def check_conservation(self, meter: "TrafficMeterLike") -> None:
         """Fraction-compare the series totals against a TrafficMeter.
 
         Piggybacked on :meth:`repro.obs.Observability.note_traffic`; the

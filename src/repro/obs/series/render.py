@@ -172,18 +172,18 @@ def series_csv(doc: dict, signals: list | None = None) -> str:
             if not _match(name, patterns):
                 continue
             if sig["kind"] == "distribution":
-                for snap in sig["snapshots"]:
-                    for wc, col, n in snap["cells"]:
-                        lines.append(
-                            f'{run["label"]},{name}:{wc}/{col},'
-                            f'distribution,{sig["unit"]},{snap["t"]:g},{n}'
-                        )
-                continue
-            for t, v in sig["points"]:
-                lines.append(
-                    f'{run["label"]},{name},{sig["kind"]},{sig["unit"]},'
-                    f"{t:g},{v:g}"
+                lines.extend(
+                    f'{run["label"]},{name}:{wc}/{col},'
+                    f'distribution,{sig["unit"]},{snap["t"]:g},{n}'
+                    for snap in sig["snapshots"]
+                    for wc, col, n in snap["cells"]
                 )
+                continue
+            lines.extend(
+                f'{run["label"]},{name},{sig["kind"]},{sig["unit"]},'
+                f"{t:g},{v:g}"
+                for t, v in sig["points"]
+            )
     return "\n".join(lines) + "\n"
 
 

@@ -331,7 +331,9 @@ class Process(Event):
                 self.name, self._wait_begin, self.env.now,
                 self._target if self._target is not None else event,
             )
-            self._wait_begin = None
+        # Reset outside the tracer guard: the wait is over whether or not
+        # anyone recorded it, and probe blocks must stay observe-only.
+        self._wait_begin = None
         self.env._active = self
         gen = self._generator
         while True:

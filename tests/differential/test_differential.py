@@ -202,7 +202,8 @@ def test_zero_byte_transfers_differential():
                 yield fabric.transfer(h0, h1, 0.0, tag="storage-push",
                                       cause="push")
                 seen.append(env.now)
-                yield fabric.message(h0, h1, nbytes=0.0)
+                yield fabric.message(h0, h1, nbytes=0.0,
+                                     tag="control", cause="control")
                 seen.append(env.now)
                 # A zero-byte flow sharing the fabric with a real one.
                 ev = fabric.transfer(h0, h1, 10 * MB, tag="storage-pull",

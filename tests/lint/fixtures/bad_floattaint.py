@@ -1,0 +1,21 @@
+# simlint: module=repro.obs.analyze.fixture
+# simlint: exact
+"""Float taint reaching exact sinks: each F rule fires with a witness."""
+
+import math
+
+from fractions import Fraction
+
+
+def poisoned_fraction(raw):
+    ratio = raw / 2.5            # true division + non-integral literal
+    share = ratio * 3            # taint rides through arithmetic
+    return Fraction(share)       # F601: tainted value into Fraction(...)
+
+
+def poisoned_accumulator(deltas):
+    total = Fraction(0)
+    for d in deltas:
+        drift = math.sqrt(d)     # math.* return is tainted
+        total += drift           # F602: tainted store into the accumulator
+    return total

@@ -1,0 +1,15 @@
+# simlint: module=repro.core.fixture
+"""Dataflow-provable kernel misuse: K403 and K404 fire."""
+
+
+def confused_process(env):
+    delay = 1.5                 # a float on every path...
+    if env.now > 10:
+        delay = delay * 2
+    yield delay                 # K403: never an Event
+    yield env.timeout(1)
+
+
+def spawn_and_forget(env, work):
+    env.process(work())         # K404: handle discarded, not daemon-tagged
+    yield env.timeout(1)

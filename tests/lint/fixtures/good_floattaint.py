@@ -1,0 +1,25 @@
+# simlint: module=repro.obs.analyze.fixture
+# simlint: exact
+"""Exact accounting with float-land kept away from the sinks: F stays quiet."""
+
+from fractions import Fraction
+
+
+def exact_total(values):
+    # Fraction end to end: sum seeded exactly, division exact by type.
+    total = sum((Fraction(v) for v in values), Fraction(0))
+    half = total / 2
+    return total, half
+
+
+def boundary_conversions(events, wall_us):
+    # float() is a coercion, not an origin: converting integral byte
+    # counts for Fraction construction is exact.
+    total = Fraction(0)
+    for nbytes in events:
+        total += Fraction(float(nbytes))
+    # Float-land rendering that never reaches an exact sink is fine —
+    # this is what the retired X family could not express.
+    seconds = wall_us / 1e6
+    percent = 100.0 * seconds
+    return {"total_bytes": total, "wall_s": seconds, "pct": percent}

@@ -1,0 +1,25 @@
+# simlint: module=repro.core.fixture
+"""Observe-only telemetry probes: P stays quiet."""
+
+
+class Migrator:
+    def __init__(self, env, meter):
+        self.env = env
+        self.meter = meter
+        self.retries = 0
+
+    def step(self, nbytes):
+        # Mutations happen in plain simulation code, outside any guard.
+        self.retries += 1
+        done = self.env.timeout(0.001)
+        sr = self.env.series
+        if sr.enabled:
+            # Reads of sim state, locals, and recorder calls (including
+            # fluent sub-recorders) are all sanctioned.
+            backlog = self.meter.total - nbytes
+            sr.gauge("migrator.window", self.env.now, nbytes)
+            sr.gauge("migrator.backlog", self.env.now, backlog)
+        tr = self.env.tracer
+        if tr.enabled and tr.causal is not None:
+            tr.causal.record_wait("migrator", 0, self.env.now, done)
+        return done

@@ -33,7 +33,7 @@ def test_json_flag_emits_machine_readable_findings(capsys):
 
 
 def test_rule_filter_flag(capsys):
-    code = main([str(FIXTURES / "bad_determinism.py"), "--rule", "X"])
+    code = main([str(FIXTURES / "bad_determinism.py"), "--rule", "F"])
     assert code == 0
     code = main([str(FIXTURES / "bad_determinism.py"), "--rule", "D103"])
     assert code == 1
@@ -45,3 +45,52 @@ def test_repro_cli_dispatches_lint(capsys):
     from repro.cli import main as repro_main
 
     assert repro_main(["lint", SRC]) == 0
+
+
+def test_rule_f_fires_on_exactly_its_fixture(capsys):
+    # --rule F must trip the float-taint fixture, stay quiet on its good
+    # twin, and ignore fixtures from other families entirely.
+    assert main([str(FIXTURES / "bad_floattaint.py"), "--rule", "F"]) == 1
+    payload_out = capsys.readouterr().out
+    assert "F601" in payload_out
+    assert main([str(FIXTURES / "good_floattaint.py"), "--rule", "F"]) == 0
+    assert main([str(FIXTURES / "bad_probe.py"), "--rule", "F"]) == 0
+    assert main([str(FIXTURES / "bad_kernelflow.py"), "--rule", "F"]) == 0
+
+
+def test_json_witness_paths(capsys):
+    code = main([str(FIXTURES / "bad_floattaint.py"), "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    witnessed = [f for f in payload["findings"] if "witness" in f]
+    assert witnessed
+    for f in witnessed:
+        for h in f["witness"]:
+            assert set(h) == {"line", "col", "note"}
+
+
+def test_baseline_round_trip(tmp_path, capsys):
+    base = tmp_path / "baseline.json"
+    good = str(FIXTURES / "good_kernelflow.py")
+    assert main([good, "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main([good, "--baseline", str(base)]) == 0
+    capsys.readouterr()
+
+
+def test_baseline_detects_new_debt_and_stale_credit(tmp_path, capsys):
+    # Baseline of a pragma-free file vs. a run with a daemon pragma:
+    # new debt fails.  The reverse direction (stale credit) fails too.
+    clean = str(FIXTURES / "good_probe.py")
+    tagged = str(FIXTURES / "good_kernelflow.py")
+    base = tmp_path / "baseline.json"
+    assert main([clean, "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main([tagged, "--baseline", str(base)]) == 1
+    err = capsys.readouterr().err
+    assert "new suppression debt" in err
+    assert main([tagged, "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main([clean, "--baseline", str(base)]) == 1
+    err = capsys.readouterr().err
+    assert "shrank" in err

@@ -74,7 +74,7 @@ def test_syntax_error_becomes_a_parse_finding(tmp_path):
     bad = tmp_path / "broken.py"
     bad.write_text("def f(:\n")
     result = lint_paths([str(bad)])
-    assert [f.rule for f in result.findings] == ["P000"]
+    assert [f.rule for f in result.findings] == ["E000"]
     assert result.exit_code == 1
 
 
@@ -92,3 +92,29 @@ def test_pycache_and_hidden_dirs_are_skipped(tmp_path):
     (tmp_path / ".hidden" / "junk.py").write_text("import time\n")
     result = lint_paths([str(tmp_path)])
     assert result.files_checked == 0
+
+
+def test_witness_json_is_byte_identical_across_runs():
+    fixtures = Path(__file__).parent / "fixtures"
+    target = str(fixtures / "bad_floattaint.py")
+    a = render_json(lint_paths([target]))
+    b = render_json(lint_paths([target]))
+    assert a == b
+    payload = json.loads(a)
+    f601 = [f for f in payload["findings"] if f["rule"] == "F601"]
+    assert f601 and f601[0]["witness"][0]["note"].startswith("float literal")
+
+
+def test_budget_reports_reasons():
+    fixtures = Path(__file__).parent / "fixtures"
+    result = lint_paths([str(fixtures / "good_kernelflow.py")])
+    text = render_text(result)
+    assert "-- reaper runs for the whole sim" in text
+
+
+def test_differential_and_golden_harnesses_are_clean():
+    # Satellite of the byte-exactness story: the suites that compare
+    # runs bit-for-bit are themselves in determinism scope.
+    result = lint_paths([str(REPO / "tests" / "differential"),
+                         str(REPO / "tests" / "golden")])
+    assert result.findings == [], "\n" + render_text(result)

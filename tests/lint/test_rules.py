@@ -25,9 +25,11 @@ BAD_CASES = [
     ("bad_determinism.py", "D", {"D101", "D102", "D103", "D104"}),
     # host-time pragma waives D101/D102 only; D103/D104 must survive.
     ("bad_hosttime.py", "D", {"D103", "D104"}),
-    ("bad_exactness.py", "X", {"X201", "X202", "X203"}),
+    ("bad_floattaint.py", "F", {"F601", "F602", "F603"}),
     ("bad_causetags.py", "C", {"C301", "C302", "C303"}),
     ("bad_kernel.py", "K", {"K401", "K402"}),
+    ("bad_kernelflow.py", "K", {"K403", "K404"}),
+    ("bad_probe.py", "P", {"P701", "P702", "P703"}),
     ("bad_structure.py", "S", {"S501"}),
     ("bad_obsdag.py", "S", {"S502"}),
 ]
@@ -45,9 +47,11 @@ def test_bad_fixture_trips_exactly_its_family(name, family, expected_ids):
 @pytest.mark.parametrize("name", [
     "good_determinism.py",
     "good_hosttime.py",
-    "good_exactness.py",
+    "good_floattaint.py",
     "good_causetags.py",
     "good_kernel.py",
+    "good_kernelflow.py",
+    "good_probe.py",
     "good_structure.py",
     "good_obsdag.py",
 ])
@@ -80,3 +84,40 @@ def test_every_bad_finding_names_its_fixture_line():
     source = (FIXTURES / "bad_determinism.py").read_text().splitlines()
     for f in result.findings:
         assert 1 <= f.line <= len(source)
+
+
+def test_dataflow_findings_carry_witness_paths():
+    # Witnesses walk origin -> assignments -> sink, each hop located
+    # inside the fixture, ending at the finding's own line.
+    for name, rule in [("bad_floattaint.py", "F601"),
+                       ("bad_probe.py", "P701"),
+                       ("bad_kernelflow.py", "K403")]:
+        result = lint_fixture(name)
+        found = [f for f in result.findings if f.rule == rule]
+        assert found, (name, rule)
+        witness = found[0].witness
+        assert len(witness) >= 2
+        source = (FIXTURES / name).read_text().splitlines()
+        for h in witness:
+            assert 1 <= h.line <= len(source)
+            assert h.note
+        assert witness[-1].line == found[0].line
+
+
+def test_float_taint_clears_boundary_conversions():
+    # float() is a coercion, not an origin: Fraction(float(nbytes)) in
+    # the good fixture must never fire, while the same module's
+    # rendering floats (wall_us / 1e6) stay legal because they never
+    # reach a sink.  This is the proof-over-marker payoff.
+    result = lint_fixture("good_floattaint.py")
+    assert result.findings == []
+
+
+def test_daemon_pragma_counts_in_budget():
+    result = lint_fixture("good_kernelflow.py")
+    assert result.findings == []
+    assert len(result.suppressions) == 1
+    entry = result.suppressions[0]
+    assert entry["rules"] == ["K404"]
+    assert entry["used"] is True
+    assert "reaper" in entry["reason"]

@@ -205,11 +205,14 @@ def test_property_fast_path_matches_generic(instance):
     weights, srcs, dsts, nic_out, nic_in, backplane = instance
     fast = maxmin_single_switch(weights, srcs, dsts, nic_out, nic_in, backplane)
 
-    constraints = []
-    for h in np.unique(srcs):
-        constraints.append(Constraint(nic_out[h], np.flatnonzero(srcs == h)))
-    for h in np.unique(dsts):
-        constraints.append(Constraint(nic_in[h], np.flatnonzero(dsts == h)))
+    constraints = [
+        Constraint(nic_out[h], np.flatnonzero(srcs == h))
+        for h in np.unique(srcs)
+    ]
+    constraints.extend(
+        Constraint(nic_in[h], np.flatnonzero(dsts == h))
+        for h in np.unique(dsts)
+    )
     if backplane is not None:
         constraints.append(Constraint(backplane, np.arange(len(weights))))
     generic = progressive_filling(weights, constraints)

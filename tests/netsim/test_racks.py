@@ -165,11 +165,14 @@ def test_property_racked_fast_path_matches_generic(instance):
         host_racks=racks, uplink_caps=uplinks,
     )
 
-    constraints = []
-    for h in np.unique(srcs):
-        constraints.append(Constraint(nic[h], np.flatnonzero(srcs == h)))
-    for h in np.unique(dsts):
-        constraints.append(Constraint(nic[h], np.flatnonzero(dsts == h)))
+    constraints = [
+        Constraint(nic[h], np.flatnonzero(srcs == h))
+        for h in np.unique(srcs)
+    ]
+    constraints.extend(
+        Constraint(nic[h], np.flatnonzero(dsts == h))
+        for h in np.unique(dsts)
+    )
     src_rack, dst_rack = racks[srcs], racks[dsts]
     cross = src_rack != dst_rack
     for rack, cap in enumerate(uplinks):

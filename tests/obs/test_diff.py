@@ -97,13 +97,14 @@ class TestDimensionDelta:
 # -- artifact diffing ----------------------------------------------------------
 
 def _artifact(kind, source, series_per_run):
-    runs = []
-    for label, series in series_per_run.items():
-        runs.append({
+    runs = [
+        {
             "label": label,
             "series": {name: {"unit": unit, "values": values}
                        for name, (unit, values) in series.items()},
-        })
+        }
+        for label, series in series_per_run.items()
+    ]
     return {"kind": kind, "source": source, "runs": runs}
 
 
@@ -210,16 +211,17 @@ class TestLoaders:
         assert run["series"]["work.counters"]["values"] == {"heap_pop": 42}
 
     def test_bench_entry_selection(self, tmp_path):
-        entries = []
-        for i in range(3):
-            entries.append({
+        entries = [
+            {
                 "schema": "repro.bench/1", "git": f"rev{i}", "mode": "quick",
                 "scenarios": [{"name": "event_loop", "wall_s": 1.0 + i,
                                "events": 1000 * (i + 1),
                                "events_per_s": 1000.0,
                                "profile": {"wall_s": {"kernel.step": 0.5},
                                            "counters": {"heap_pop": 10 * i}}}],
-            })
+            }
+            for i in range(3)
+        ]
         path = tmp_path / "BENCH.json"
         path.write_text(json.dumps(entries))
         art = load_artifact(path, entry=0)

@@ -97,8 +97,10 @@ class TestInterruptedSpans:
                 proc.interrupt(cause="shutdown")
                 yield env.timeout(0.25)
 
-        for i in range(3):
-            procs.append(env.process(holder(f"p{i}", 100.0), name=f"p{i}"))
+        procs.extend(
+            env.process(holder(f"p{i}", 100.0), name=f"p{i}")
+            for i in range(3)
+        )
         env.process(aborter(), name="aborter")
         env.run()
         events = chrome_trace(obs.tracer)["traceEvents"]

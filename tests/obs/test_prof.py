@@ -161,13 +161,14 @@ class TestDeterminism:
 
 
 def _strip_times(tree):
-    out = []
-    for node in tree:
-        out.append({
+    out = [
+        {
             "name": node["name"],
             "calls": node["calls"],
             "children": _strip_times(node.get("children", [])),
-        })
+        }
+        for node in tree
+    ]
     return out
 
 
